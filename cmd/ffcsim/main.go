@@ -1,0 +1,134 @@
+// Command ffcsim runs one end-to-end evaluation scenario (the §8 harness)
+// and prints the accounting: an FFC configuration against the unprotected
+// baseline under identical faults.
+//
+//	ffcsim -net lnet -sites 8 -intervals 24 -scale 1 -kc 2 -ke 1 -model realistic
+//	ffcsim -net snet -multi               # the §8.4 multi-priority setup
+//
+// Output: throughput/loss ratios, loss breakdown (blackhole vs congestion),
+// oversubscription percentiles, reactions, per-class results with -multi.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"time"
+
+	"ffc/internal/core"
+	"ffc/internal/demand"
+	"ffc/internal/experiments"
+	"ffc/internal/faults"
+	"ffc/internal/metrics"
+	"ffc/internal/sim"
+)
+
+func main() {
+	var (
+		timeline  = flag.Bool("timeline", false, "print the per-interval timeline of the FFC run")
+		netKind   = flag.String("net", "lnet", "network: lnet or snet")
+		sites     = flag.Int("sites", 8, "L-Net sites")
+		intervals = flag.Int("intervals", 24, "TE intervals to simulate")
+		scale     = flag.Float64("scale", 1.0, "traffic scale (1.0 = 99% of demand satisfiable)")
+		kc        = flag.Int("kc", 2, "control-plane protection")
+		ke        = flag.Int("ke", 1, "link protection")
+		kv        = flag.Int("kv", 0, "switch protection")
+		model     = flag.String("model", "realistic", "switch model: realistic or optimistic")
+		multi     = flag.Bool("multi", false, "multi-priority (§8.4) protection levels")
+		seed      = flag.Int64("seed", 1, "random seed")
+		mtbf      = flag.Duration("link-mtbf", 30*time.Minute, "network-wide link MTBF")
+	)
+	flag.Parse()
+
+	var env *experiments.Env
+	var err error
+	cfg := experiments.EnvConfig{Sites: *sites, Intervals: *intervals, Seed: *seed}
+	switch *netKind {
+	case "lnet":
+		env, err = experiments.NewLNet(cfg)
+	case "snet":
+		env, err = experiments.NewSNet(cfg)
+	default:
+		fatalf("unknown -net %q", *netKind)
+	}
+	if err != nil {
+		fatalf("%v", err)
+	}
+
+	var sw faults.SwitchModel
+	switch *model {
+	case "realistic":
+		sw = faults.Realistic()
+	case "optimistic":
+		sw = faults.Optimistic()
+	default:
+		fatalf("unknown -model %q", *model)
+	}
+	sc := env.Scenario(*scale, sw)
+	sc.Failures.LinkMTBF = *mtbf
+
+	baseCfg := sim.RunConfig{SolverOpts: env.Opts}
+	ffcCfg := sim.RunConfig{Prot: core.Protection{Kc: *kc, Ke: *ke, Kv: *kv}, SolverOpts: env.Opts}
+	if *multi {
+		rng := rand.New(rand.NewSource(*seed + 99))
+		splits := demand.RandomSplits(sim.FlowsOf(sc.Series), rng)
+		mp := &sim.PriorityConfig{Splits: splits}
+		mp.Prot[demand.High] = core.Protection{Kc: 3, Ke: 3}
+		mp.Prot[demand.Med] = core.Protection{Kc: 2, Ke: 1}
+		mp.Prot[demand.Low] = core.None
+		ffcCfg = sim.RunConfig{Multi: mp, SolverOpts: env.Opts}
+		baseCfg = sim.RunConfig{Multi: &sim.PriorityConfig{Splits: splits}, SolverOpts: env.Opts}
+	}
+
+	fmt.Fprintf(os.Stderr, "simulating %s: %d switches, %d links, %d intervals, scale %.2g, %s model...\n",
+		env.Name, env.Net.NumSwitches(), env.Net.NumLinks(), *intervals, *scale, sw.Name)
+	base, err := sim.Run(sc, baseCfg)
+	if err != nil {
+		fatalf("baseline: %v", err)
+	}
+	ffcRes, err := sim.Run(sc, ffcCfg)
+	if err != nil {
+		fatalf("ffc: %v", err)
+	}
+
+	tab := metrics.NewTable("metric", "non-FFC", "FFC", "ratio")
+	row := func(name string, b, f float64) {
+		tab.Row(name, b, f, metrics.SafeRatio(f, b, 1))
+	}
+	row("delivered (unit·s)", base.Total.DeliveredBytes(), ffcRes.Total.DeliveredBytes())
+	row("lost (unit·s)", base.Total.LossBytes, ffcRes.Total.LossBytes)
+	row("  blackhole", base.Total.BlackholeBytes, ffcRes.Total.BlackholeBytes)
+	row("  congestion", base.Total.CongestionBytes, ffcRes.Total.CongestionBytes)
+	tab.Row("max-oversub p50 (%)", 100*base.MaxOversub.Percentile(50), 100*ffcRes.MaxOversub.Percentile(50), "")
+	tab.Row("max-oversub p99 (%)", 100*base.MaxOversub.Percentile(99), 100*ffcRes.MaxOversub.Percentile(99), "")
+	tab.Row("controller reactions", base.Reactions, ffcRes.Reactions, "")
+	tab.Row("TE solve mean (s)", base.SolveTime.Mean(), ffcRes.SolveTime.Mean(), "")
+	fmt.Print(tab.String())
+
+	if *timeline {
+		fmt.Println()
+		tt := metrics.NewTable("interval", "demand", "granted", "lost", "link-faults", "switch-faults", "stale", "max-oversub-%")
+		for i, rec := range ffcRes.Timeline {
+			tt.Row(i, rec.Demand, rec.Granted, rec.Lost, rec.LinkFaults, rec.SwitchFaults, rec.StaleSwitches, 100*rec.MaxOversub)
+		}
+		fmt.Print(tt.String())
+	}
+
+	if *multi {
+		fmt.Println()
+		ct := metrics.NewTable("class", "delivered-ratio", "loss-ratio", "ffc-loss-share")
+		for _, p := range []demand.Priority{demand.High, demand.Med, demand.Low} {
+			ct.Row(p.String(),
+				metrics.SafeRatio(ffcRes.ByPriority[p].DeliveredBytes(), base.ByPriority[p].DeliveredBytes(), 1),
+				metrics.SafeRatio(ffcRes.ByPriority[p].LossBytes, base.ByPriority[p].LossBytes, 0),
+				metrics.SafeRatio(ffcRes.ByPriority[p].LossBytes, ffcRes.Total.LossBytes, 0))
+		}
+		fmt.Print(ct.String())
+	}
+}
+
+func fatalf(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, "ffcsim: "+format+"\n", args...)
+	os.Exit(1)
+}

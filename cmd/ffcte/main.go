@@ -1,0 +1,176 @@
+// Command ffcte is a one-shot FFC TE solver: it reads a topology and a
+// demands file (JSON), computes a traffic distribution at the requested
+// protection level, and writes the configuration as JSON.
+//
+//	ffcte -topo net.json -demands d.json -kc 2 -ke 1 -kv 0 > state.json
+//
+// With -prev it computes relative to an existing configuration (required
+// for kc > 0; the previous state file must have been produced by ffcte on
+// the same topology). With -verify it exhaustively checks the result
+// against every fault combination at the protection level before printing.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"ffc/internal/core"
+	"ffc/internal/topology"
+	"ffc/internal/tunnel"
+	"ffc/internal/wire"
+)
+
+func main() {
+	var (
+		topoPath   = flag.String("topo", "", "topology JSON (required; see cmd/topogen)")
+		demPath    = flag.String("demands", "", "demands JSON (required)")
+		prevPath   = flag.String("prev", "", "previous state JSON (for kc > 0)")
+		kc         = flag.Int("kc", 0, "control-plane protection level")
+		ke         = flag.Int("ke", 0, "link-failure protection level")
+		kv         = flag.Int("kv", 0, "switch-failure protection level")
+		tunnels    = flag.Int("tunnels", 6, "tunnels per flow")
+		p          = flag.Int("p", 1, "max tunnels of a flow per physical link")
+		q          = flag.Int("q", 3, "max tunnels of a flow per intermediate switch")
+		encoding   = flag.String("encoding", "sortnet", "bounded M-sum encoding: sortnet, compact, naive")
+		objective  = flag.String("objective", "throughput", "objective: throughput, mlu, maxmin")
+		verifyFlag = flag.Bool("verify", false, "exhaustively verify the guarantee (small networks)")
+	)
+	flag.Parse()
+	if *topoPath == "" || *demPath == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	var net topology.Network
+	mustReadJSON(*topoPath, &net)
+	demBytes, err := os.ReadFile(*demPath)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	demands, err := wire.ParseDemands(&net, demBytes)
+	if err != nil {
+		fatalf("%v", err)
+	}
+
+	var flows []tunnel.Flow
+	for _, f := range demands.Flows() {
+		flows = append(flows, f)
+	}
+	set := tunnel.Layout(&net, flows, tunnel.LayoutConfig{TunnelsPerFlow: *tunnels, P: *p, Q: *q})
+
+	opts := core.Options{MiceFraction: 0.01, OldLoadSkip: 1e-5}
+	switch *encoding {
+	case "sortnet":
+		opts.Encoding = core.SortNet
+	case "compact":
+		opts.Encoding = core.Compact
+	case "naive":
+		opts.Encoding = core.Naive
+	default:
+		fatalf("unknown encoding %q", *encoding)
+	}
+	if *objective == "mlu" {
+		opts.Objective = core.MinMLU
+	}
+	solver := core.NewSolver(&net, set, opts)
+
+	prev := core.NewState()
+	if *prevPath != "" {
+		prev = readPrevState(&net, set, *prevPath)
+	}
+
+	prot := core.Protection{Kc: *kc, Ke: *ke, Kv: *kv}
+	in := core.Input{Demands: demands, Prot: prot, Prev: prev}
+	var st *core.State
+	var stats *core.Stats
+	if *objective == "maxmin" {
+		res, merr := solver.SolveMaxMin(in, 2, 0)
+		if merr != nil {
+			fatalf("solve: %v", merr)
+		}
+		st, stats = res.State, &res.TotalStats
+	} else {
+		st, stats, err = solver.Solve(in)
+		if err != nil {
+			fatalf("solve: %v", err)
+		}
+	}
+
+	if *verifyFlag {
+		if v := core.VerifyDataPlane(&net, set, st, prot.Ke, prot.Kv, nil); v != nil {
+			fatalf("verification failed (data plane): %+v", v)
+		}
+		if prot.Kc > 0 {
+			if v := core.VerifyControlPlane(&net, set, st, prev, prot.Kc, opts.RateLimiter, nil); v != nil {
+				fatalf("verification failed (control plane): %+v", v)
+			}
+		}
+		fmt.Fprintln(os.Stderr, "verification passed: congestion-free under all fault cases at", prot)
+	}
+
+	fmt.Fprintf(os.Stderr, "solved: %d vars, %d constraints, %d iterations, %v; throughput %.4g/%.4g\n",
+		stats.Vars, stats.Constraints, stats.Iters, stats.SolveTime.Round(0), st.TotalRate(), demands.Total())
+
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(wire.EncodeState(&net, set, demands, st)); err != nil {
+		fatalf("%v", err)
+	}
+}
+
+// readPrevState reloads a state file produced by this tool, matching its
+// tunnels to the freshly laid-out set by path.
+func readPrevState(net *topology.Network, set *tunnel.Set, path string) *core.State {
+	var sf wire.StateFile
+	mustReadJSON(path, &sf)
+	st := core.NewState()
+	for _, f := range sf.Flows {
+		src, ok1 := net.SwitchByName(f.Src)
+		dst, ok2 := net.SwitchByName(f.Dst)
+		if !ok1 || !ok2 {
+			fatalf("prev state references unknown switch %q/%q", f.Src, f.Dst)
+		}
+		fl := tunnel.Flow{Src: src, Dst: dst}
+		st.Rate[fl] = f.Rate
+		ts := set.Tunnels(fl)
+		alloc := make([]float64, len(ts))
+		for _, ta := range f.Tunnels {
+			for _, t := range ts {
+				if samePathNames(net, t, ta.Path) {
+					alloc[t.Index] = ta.Alloc
+				}
+			}
+		}
+		st.Alloc[fl] = alloc
+	}
+	return st
+}
+
+func samePathNames(net *topology.Network, t *tunnel.Tunnel, names []string) bool {
+	if len(t.Switches) != len(names) {
+		return false
+	}
+	for i, sw := range t.Switches {
+		if net.Switches[sw].Name != names[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func mustReadJSON(path string, v interface{}) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	if err := json.Unmarshal(data, v); err != nil {
+		fatalf("parsing %s: %v", path, err)
+	}
+}
+
+func fatalf(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, "ffcte: "+format+"\n", args...)
+	os.Exit(1)
+}

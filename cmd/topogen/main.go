@@ -1,0 +1,112 @@
+// Command topogen emits topologies and demand files in the JSON formats
+// cmd/ffcte consumes.
+//
+//	topogen -kind lnet -sites 8 -seed 1 -out net.json -demands d.json
+//	topogen -kind snet -out snet.json
+//	topogen -kind testbed -out tb.json
+//	topogen -kind example4 -out ex.json
+//	topogen -kind fattree -arity 4 -out ft.json
+//	topogen -kind graphml -in Abilene.graphml -out abilene.json
+//
+// When -demands is given, a gravity-model demand matrix for one TE interval
+// is written alongside the topology (scaled so plain TE satisfies ~99% of
+// it, the paper's traffic scale 1.0, adjustable with -scale).
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+
+	"ffc/internal/core"
+	"ffc/internal/demand"
+	"ffc/internal/sim"
+	"ffc/internal/topology"
+	"ffc/internal/tunnel"
+	"ffc/internal/wire"
+)
+
+func main() {
+	var (
+		kind    = flag.String("kind", "lnet", "topology kind: lnet, snet, testbed, example4, fattree, graphml")
+		sites   = flag.Int("sites", 8, "sites for lnet")
+		arity   = flag.Int("arity", 4, "fat-tree arity (even)")
+		inPath  = flag.String("in", "", "GraphML input file (for -kind graphml)")
+		linkCap = flag.Float64("capacity", 10, "default link capacity (fattree/graphml)")
+		seed    = flag.Int64("seed", 1, "random seed")
+		outPath = flag.String("out", "", "topology output file (default stdout)")
+		demPath = flag.String("demands", "", "also write a calibrated demand file here")
+		scale   = flag.Float64("scale", 1.0, "traffic scale relative to the 99%-satisfied point")
+	)
+	flag.Parse()
+
+	rng := rand.New(rand.NewSource(*seed))
+	var net *topology.Network
+	switch *kind {
+	case "lnet":
+		net = topology.LNet(topology.LNetConfig{Sites: *sites}, rng)
+	case "snet":
+		net = topology.SNet()
+	case "testbed":
+		net = topology.Testbed()
+	case "example4":
+		net = topology.Example4()
+	case "fattree":
+		net = topology.FatTree(*arity, *linkCap)
+	case "graphml":
+		if *inPath == "" {
+			fatalf("-kind graphml requires -in <file>")
+		}
+		f, err := os.Open(*inPath)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		defer f.Close()
+		net, err = topology.ParseGraphML(f, *linkCap)
+		if err != nil {
+			fatalf("%v", err)
+		}
+	default:
+		fatalf("unknown -kind %q", *kind)
+	}
+	writeJSON(*outPath, net)
+
+	if *demPath != "" {
+		series := demand.Generate(net, demand.Config{Intervals: 3}, rng)
+		flows := sim.FlowsOf(series)
+		set := tunnel.Layout(net, flows, tunnel.LayoutConfig{})
+		solver := core.NewSolver(net, set, core.Options{MiceFraction: 0.01})
+		k, err := sim.CalibrateScale(solver, series, 0.99, 2)
+		if err != nil {
+			fatalf("calibrating: %v", err)
+		}
+		writeJSON(*demPath, wire.EncodeDemands(net, series[0].Scale(k**scale)))
+	}
+}
+
+func writeJSON(path string, v interface{}) {
+	w := os.Stdout
+	if path != "" {
+		f, err := os.Create(path)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		defer f.Close()
+		w = f
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		fatalf("%v", err)
+	}
+	if path != "" {
+		fmt.Fprintf(os.Stderr, "wrote %s\n", path)
+	}
+}
+
+func fatalf(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, "topogen: "+format+"\n", args...)
+	os.Exit(1)
+}

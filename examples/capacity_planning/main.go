@@ -1,0 +1,84 @@
+// Capacity planning (§3.3): instead of trading throughput for protection,
+// compute exactly how much extra link capacity a desired protection level
+// requires — the paper's alternative to blind over-provisioning. Also shows
+// link shadow prices, which rank upgrades by marginal value.
+//
+//	go run ./examples/capacity_planning
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+
+	"ffc"
+)
+
+func main() {
+	net := ffc.LNetTopology(6, 7)
+	series := ffc.GenerateDemands(net, 1, 7)
+	base := series[0]
+
+	var flows []ffc.Flow
+	for f := range base {
+		flows = append(flows, f)
+	}
+	ctl, err := ffc.NewController(net, flows, ffc.ControllerConfig{TunnelsPerFlow: 4})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Scale the gravity matrix up until plain TE can no longer satisfy it
+	// (so protection genuinely costs capacity).
+	scale := 40.0
+	demands := ffc.Demands{}
+	for {
+		for f, d := range base {
+			demands[f] = d * scale
+		}
+		st, _, err := ctl.Compute(demands, ffc.NoProtection)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if st.TotalRate() < demands.Total()-1e-6 || scale > 1e6 {
+			ctl.Install(st) // give control-plane FFC a configuration to be stale on
+			break
+		}
+		scale *= 2
+	}
+
+	fmt.Printf("network: %d switches, %d directed links, %.0f units of demand\n\n",
+		net.NumSwitches(), net.NumLinks(), demands.Total())
+
+	for _, prot := range []ffc.Protection{{}, {Ke: 1}, {Kc: 2, Ke: 1}} {
+		added, total, err := ctl.PlanCapacityFor(demands, prot, nil)
+		if err != nil {
+			log.Fatalf("prot %v: %v", prot, err)
+		}
+		fmt.Printf("protection %v: buy %.1f units of capacity across %d links\n",
+			prot, total, len(added))
+	}
+
+	// Shadow prices under plain TE: which links limit throughput right now?
+	prices, err := ctl.ShadowPrices(demands, ffc.NoProtection)
+	if err != nil {
+		log.Fatal(err)
+	}
+	type lp struct {
+		link  ffc.LinkID
+		price float64
+	}
+	var ranked []lp
+	for l, p := range prices {
+		ranked = append(ranked, lp{l, p})
+	}
+	sort.Slice(ranked, func(i, j int) bool { return ranked[i].price > ranked[j].price })
+	fmt.Println("\nmost valuable upgrades (marginal throughput per unit capacity):")
+	for i, r := range ranked {
+		if i == 5 {
+			break
+		}
+		l := net.Links[r.link]
+		fmt.Printf("  %s → %s: %.2f\n", net.Switches[l.Src].Name, net.Switches[l.Dst].Name, r.price)
+	}
+}

@@ -1,0 +1,19 @@
+// Testbed timeline (the paper's §7 / Figure 11): emulate the 8-site WAN,
+// fail link s6–s7, and print the event timelines for FFC (no controller
+// reaction needed) versus non-FFC with fast and slow switch updates.
+//
+//	go run ./examples/testbed_timeline
+package main
+
+import (
+	"log"
+	"os"
+
+	"ffc/internal/experiments"
+)
+
+func main() {
+	if err := experiments.Fig11(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,3 @@
+module ffc
+
+go 1.22

@@ -1,0 +1,627 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"ffc/internal/demand"
+	"ffc/internal/topology"
+	"ffc/internal/tunnel"
+)
+
+// fig25Fixture builds the 4-switch network of Figures 2–5 with manually
+// constructed tunnels matching the paper's walkthroughs.
+type fig25Fixture struct {
+	net      *topology.Network
+	tun      *tunnel.Set
+	s1, s2   topology.SwitchID
+	s3, s4   topology.SwitchID
+	f24, f34 tunnel.Flow // {s2,s3}→s4
+	f14      tunnel.Flow // s1→s4 (the new flow of Fig 3)
+	mkTunnel func(f tunnel.Flow, hops ...topology.SwitchID) *tunnel.Tunnel
+}
+
+func newFig25(t *testing.T) *fig25Fixture {
+	t.Helper()
+	net := topology.Example4()
+	fx := &fig25Fixture{net: net, tun: tunnel.NewSet(net)}
+	get := func(name string) topology.SwitchID {
+		id, ok := net.SwitchByName(name)
+		if !ok {
+			t.Fatalf("switch %s missing", name)
+		}
+		return id
+	}
+	fx.s1, fx.s2, fx.s3, fx.s4 = get("s1"), get("s2"), get("s3"), get("s4")
+	fx.f24 = tunnel.Flow{Src: fx.s2, Dst: fx.s4}
+	fx.f34 = tunnel.Flow{Src: fx.s3, Dst: fx.s4}
+	fx.f14 = tunnel.Flow{Src: fx.s1, Dst: fx.s4}
+	fx.mkTunnel = func(f tunnel.Flow, hops ...topology.SwitchID) *tunnel.Tunnel {
+		var links []topology.LinkID
+		for i := 0; i+1 < len(hops); i++ {
+			l := net.FindLink(hops[i], hops[i+1])
+			if l == topology.None {
+				t.Fatalf("no link %d→%d", hops[i], hops[i+1])
+			}
+			links = append(links, l)
+		}
+		return tunnelFromPath(net, f, links)
+	}
+	// Tunnels: {s2,s3}→s4 each have a direct tunnel and one via s1;
+	// s1→s4 has only the direct tunnel.
+	fx.tun.Add(fx.f24, fx.mkTunnel(fx.f24, fx.s2, fx.s4), fx.mkTunnel(fx.f24, fx.s2, fx.s1, fx.s4))
+	fx.tun.Add(fx.f34, fx.mkTunnel(fx.f34, fx.s3, fx.s4), fx.mkTunnel(fx.f34, fx.s3, fx.s1, fx.s4))
+	fx.tun.Add(fx.f14, fx.mkTunnel(fx.f14, fx.s1, fx.s4))
+	return fx
+}
+
+// tunnelFromPath mirrors the unexported constructor in package tunnel.
+func tunnelFromPath(net *topology.Network, f tunnel.Flow, links []topology.LinkID) *tunnel.Tunnel {
+	t := &tunnel.Tunnel{Flow: f, Links: links}
+	if len(links) > 0 {
+		t.Switches = append(t.Switches, net.Links[links[0]].Src)
+		for _, l := range links {
+			t.Switches = append(t.Switches, net.Links[l].Dst)
+		}
+	}
+	return t
+}
+
+func TestBasicTEMaxThroughput(t *testing.T) {
+	fx := newFig25(t)
+	s := NewSolver(fx.net, fx.tun, Options{})
+	st, stats, err := s.Solve(Input{Demands: demand.Matrix{fx.f24: 10, fx.f34: 10}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(st.TotalRate()-20) > 1e-6 {
+		t.Fatalf("throughput %v, want 20", st.TotalRate())
+	}
+	if stats.Constraints == 0 || stats.Vars == 0 {
+		t.Fatal("stats not populated")
+	}
+	// No link may be over capacity.
+	for l, load := range st.LinkLoads(fx.tun) {
+		if load > fx.net.Links[l].Capacity+1e-6 {
+			t.Fatalf("link %d overloaded: %v", l, load)
+		}
+	}
+}
+
+func TestBasicTEDemandCap(t *testing.T) {
+	fx := newFig25(t)
+	s := NewSolver(fx.net, fx.tun, Options{})
+	st, _, err := s.Solve(Input{Demands: demand.Matrix{fx.f24: 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(st.Rate[fx.f24]-3) > 1e-9 {
+		t.Fatalf("rate %v, want 3 (demand-capped)", st.Rate[fx.f24])
+	}
+}
+
+func TestBasicTEUsesMultipleTunnels(t *testing.T) {
+	fx := newFig25(t)
+	s := NewSolver(fx.net, fx.tun, Options{})
+	// Demand above single-link capacity forces use of the via-s1 tunnel.
+	st, _, err := s.Solve(Input{Demands: demand.Matrix{fx.f24: 14}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(st.Rate[fx.f24]-14) > 1e-6 {
+		t.Fatalf("rate %v, want 14", st.Rate[fx.f24])
+	}
+	if st.Alloc[fx.f24][1] < 4-1e-6 {
+		t.Fatalf("via-s1 tunnel carries %v, want ≥ 4", st.Alloc[fx.f24][1])
+	}
+}
+
+// TestControlPlaneFFCPaperNumbers reproduces Figures 3 and 5 exactly: with
+// the old configuration splitting {s2,s3}→s4 as 7 direct + 3 via s1, the
+// admissible new flow s1→s4 is 10 without FFC, 7 with kc=1, 4 with kc=2.
+func TestControlPlaneFFCPaperNumbers(t *testing.T) {
+	fx := newFig25(t)
+	prev := NewState()
+	prev.Rate[fx.f24], prev.Alloc[fx.f24] = 10, []float64{7, 3}
+	prev.Rate[fx.f34], prev.Alloc[fx.f34] = 10, []float64{7, 3}
+	demands := demand.Matrix{fx.f24: 10, fx.f34: 10, fx.f14: 10}
+
+	for _, tc := range []struct {
+		kc   int
+		want float64
+	}{
+		{0, 10}, {1, 7}, {2, 4},
+	} {
+		s := NewSolver(fx.net, fx.tun, Options{})
+		st, _, err := s.Solve(Input{Demands: demands, Prot: Protection{Kc: tc.kc}, Prev: prev})
+		if err != nil {
+			t.Fatalf("kc=%d: %v", tc.kc, err)
+		}
+		if math.Abs(st.Rate[fx.f14]-tc.want) > 1e-6 {
+			t.Fatalf("kc=%d: new flow admitted %v, want %v", tc.kc, st.Rate[fx.f14], tc.want)
+		}
+		// Existing flows keep their rates (the optimum of the walkthrough).
+		if math.Abs(st.Rate[fx.f24]-10) > 1e-6 || math.Abs(st.Rate[fx.f34]-10) > 1e-6 {
+			t.Fatalf("kc=%d: existing flows got %v/%v, want 10/10", tc.kc, st.Rate[fx.f24], st.Rate[fx.f34])
+		}
+		// And the computed state must pass exhaustive verification.
+		if v := VerifyControlPlane(fx.net, fx.tun, st, prev, tc.kc, LimitersSynced, nil); v != nil {
+			t.Fatalf("kc=%d: verification failed: %+v", tc.kc, v)
+		}
+	}
+}
+
+// TestControlPlaneNonFFCUnsafe shows that the kc=0 solution genuinely
+// violates the kc=1 guarantee (the situation of Figure 3(c)).
+func TestControlPlaneNonFFCUnsafe(t *testing.T) {
+	fx := newFig25(t)
+	prev := NewState()
+	prev.Rate[fx.f24], prev.Alloc[fx.f24] = 10, []float64{7, 3}
+	prev.Rate[fx.f34], prev.Alloc[fx.f34] = 10, []float64{7, 3}
+	s := NewSolver(fx.net, fx.tun, Options{})
+	st, _, err := s.Solve(Input{Demands: demand.Matrix{fx.f24: 10, fx.f34: 10, fx.f14: 10}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := VerifyControlPlane(fx.net, fx.tun, st, prev, 1, LimitersSynced, nil); v == nil {
+		t.Fatal("non-FFC plan unexpectedly safe under one stale switch")
+	}
+}
+
+// TestDataPlaneFFCFig24 reproduces the Figure 2/4 situation: without FFC a
+// 14-unit flow overloads s1−s4 after its direct link fails; with ke=1 the
+// network stays congestion-free in every single-failure case.
+func TestDataPlaneFFCFig24(t *testing.T) {
+	fx := newFig25(t)
+	demands := demand.Matrix{fx.f24: 14, fx.f34: 6}
+
+	plain := NewSolver(fx.net, fx.tun, Options{})
+	stPlain, _, err := plain.Solve(Input{Demands: demands})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(stPlain.TotalRate()-20) > 1e-6 {
+		t.Fatalf("plain throughput %v, want 20", stPlain.TotalRate())
+	}
+	if v := VerifyDataPlane(fx.net, fx.tun, stPlain, 1, 0, nil); v == nil {
+		t.Fatal("plain TE unexpectedly survives all single link failures")
+	}
+
+	ffc := NewSolver(fx.net, fx.tun, Options{})
+	stFFC, _, err := ffc.Solve(Input{Demands: demands, Prot: Protection{Ke: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := VerifyDataPlane(fx.net, fx.tun, stFFC, 1, 0, nil); v != nil {
+		t.Fatalf("FFC state violates ke=1 guarantee: %+v", v)
+	}
+	// With 2 tunnels per flow and τ=1, every admitted unit must fit on
+	// both tunnels; shared link s1−s4 caps total at 10.
+	if math.Abs(stFFC.TotalRate()-10) > 1e-6 {
+		t.Fatalf("FFC throughput %v, want 10", stFFC.TotalRate())
+	}
+}
+
+func TestDataPlaneSwitchFailureProtection(t *testing.T) {
+	fx := newFig25(t)
+	// kv=1 with q: via-s1 tunnels die when s1 fails; τ = 2 − q(=1) = 1.
+	s := NewSolver(fx.net, fx.tun, Options{})
+	st, _, err := s.Solve(Input{Demands: demand.Matrix{fx.f24: 14, fx.f34: 6}, Prot: Protection{Kv: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := VerifyDataPlane(fx.net, fx.tun, st, 0, 1, nil); v != nil {
+		t.Fatalf("kv=1 guarantee violated: %+v", v)
+	}
+}
+
+// TestFlowZeroedWhenTauNonPositive: s1→s4 has one tunnel; ke=1 can kill it,
+// so FFC must refuse the flow entirely.
+func TestFlowZeroedWhenTauNonPositive(t *testing.T) {
+	fx := newFig25(t)
+	s := NewSolver(fx.net, fx.tun, Options{})
+	st, _, err := s.Solve(Input{Demands: demand.Matrix{fx.f14: 5}, Prot: Protection{Ke: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Rate[fx.f14] != 0 {
+		t.Fatalf("single-tunnel flow admitted %v under ke=1, want 0", st.Rate[fx.f14])
+	}
+}
+
+func TestEncodingsAgreeOnExamples(t *testing.T) {
+	fx := newFig25(t)
+	prev := NewState()
+	prev.Rate[fx.f24], prev.Alloc[fx.f24] = 10, []float64{7, 3}
+	prev.Rate[fx.f34], prev.Alloc[fx.f34] = 10, []float64{7, 3}
+	in := Input{
+		Demands: demand.Matrix{fx.f24: 10, fx.f34: 10, fx.f14: 10},
+		Prot:    Protection{Kc: 2, Ke: 1},
+		Prev:    prev,
+	}
+	var objs []float64
+	for _, enc := range []Encoding{SortNet, Compact, Naive} {
+		s := NewSolver(fx.net, fx.tun, Options{Encoding: enc})
+		st, _, err := s.Solve(in)
+		if err != nil {
+			t.Fatalf("%v: %v", enc, err)
+		}
+		objs = append(objs, st.TotalRate())
+	}
+	// SortNet and Compact encode the identical feasible region; Naive is
+	// the ground truth. Tunnels here are link-disjoint so all three match
+	// (the paper's exactness case).
+	if math.Abs(objs[0]-objs[1]) > 1e-5 || math.Abs(objs[0]-objs[2]) > 1e-5 {
+		t.Fatalf("encodings disagree: sortnet=%v compact=%v naive=%v", objs[0], objs[1], objs[2])
+	}
+}
+
+// TestFFCPropertyRandom is the central guarantee test: on random small
+// networks with random demands and protection levels, the computed state
+// must survive exhaustive fault enumeration (Lemma 1 + §4.4.1 soundness).
+func TestFFCPropertyRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 25; trial++ {
+		net, tun, flows := randomNetwork(rng, 5+rng.Intn(3), 2+rng.Intn(3))
+		if len(flows) == 0 {
+			continue
+		}
+		demands := demand.Matrix{}
+		for _, f := range flows {
+			demands[f] = 1 + rng.Float64()*9
+		}
+		prot := Protection{Ke: rng.Intn(3), Kv: rng.Intn(2)}
+		s := NewSolver(net, tun, Options{Encoding: Encoding(rng.Intn(2))})
+		st, _, err := s.Solve(Input{Demands: demands, Prot: prot})
+		if err != nil {
+			t.Fatalf("trial %d prot %v: %v", trial, prot, err)
+		}
+		if v := VerifyDataPlane(net, tun, st, prot.Ke, prot.Kv, nil); v != nil {
+			t.Fatalf("trial %d prot %v: guarantee violated: %+v", trial, prot, v)
+		}
+	}
+}
+
+// TestControlFFCPropertyRandom does the same for control-plane faults:
+// solve plain TE for interval 1, then FFC TE for interval 2's demands,
+// and verify every ≤kc stale-switch combination.
+func TestControlFFCPropertyRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(123))
+	for trial := 0; trial < 20; trial++ {
+		net, tun, flows := randomNetwork(rng, 5+rng.Intn(3), 2+rng.Intn(2))
+		if len(flows) == 0 {
+			continue
+		}
+		d1, d2 := demand.Matrix{}, demand.Matrix{}
+		for _, f := range flows {
+			d1[f] = 1 + rng.Float64()*8
+			d2[f] = 1 + rng.Float64()*8
+		}
+		s := NewSolver(net, tun, Options{})
+		prev, _, err := s.Solve(Input{Demands: d1})
+		if err != nil {
+			t.Fatalf("trial %d: prev solve: %v", trial, err)
+		}
+		kc := 1 + rng.Intn(2)
+		mode := RateLimiterMode(rng.Intn(3))
+		s2 := NewSolver(net, tun, Options{RateLimiter: mode, Encoding: Encoding(rng.Intn(2))})
+		st, _, err := s2.Solve(Input{Demands: d2, Prot: Protection{Kc: kc}, Prev: prev})
+		if err != nil {
+			t.Fatalf("trial %d kc=%d mode=%d: %v", trial, kc, mode, err)
+		}
+		if v := VerifyControlPlane(net, tun, st, prev, kc, mode, nil); v != nil {
+			t.Fatalf("trial %d kc=%d mode=%d: %+v", trial, kc, mode, v)
+		}
+	}
+}
+
+// randomNetwork builds a small random connected duplex network, lays out
+// tunnels for a few random flows, and returns everything.
+func randomNetwork(rng *rand.Rand, nSwitch, nFlow int) (*topology.Network, *tunnel.Set, []tunnel.Flow) {
+	net := topology.NewNetwork("rand")
+	for i := 0; i < nSwitch; i++ {
+		net.AddSwitch("sw", "site", float64(i), float64(i))
+	}
+	// Random ring (2-connected, so disjoint tunnel pairs exist) plus chords.
+	perm := rng.Perm(nSwitch)
+	for i := 0; i < nSwitch; i++ {
+		a, b := perm[i], perm[(i+1)%nSwitch]
+		net.AddDuplex(topology.SwitchID(a), topology.SwitchID(b), 5+rng.Float64()*10)
+	}
+	for i := 0; i < nSwitch; i++ {
+		a, b := rng.Intn(nSwitch), rng.Intn(nSwitch)
+		if a == b || net.FindLink(topology.SwitchID(a), topology.SwitchID(b)) != topology.None {
+			continue
+		}
+		net.AddDuplex(topology.SwitchID(a), topology.SwitchID(b), 5+rng.Float64()*10)
+	}
+	var flows []tunnel.Flow
+	seen := map[tunnel.Flow]bool{}
+	for len(flows) < nFlow {
+		f := tunnel.Flow{Src: topology.SwitchID(rng.Intn(nSwitch)), Dst: topology.SwitchID(rng.Intn(nSwitch))}
+		if f.Src == f.Dst || seen[f] {
+			continue
+		}
+		seen[f] = true
+		flows = append(flows, f)
+	}
+	set := tunnel.Layout(net, flows, tunnel.LayoutConfig{TunnelsPerFlow: 3, P: 1, Q: 3})
+	var ok []tunnel.Flow
+	for _, f := range flows {
+		if len(set.Tunnels(f)) > 0 {
+			ok = append(ok, f)
+		}
+	}
+	return net, set, ok
+}
+
+func TestMiceOptimization(t *testing.T) {
+	rng := rand.New(rand.NewSource(55))
+	net, tun, flows := randomNetwork(rng, 7, 5)
+	demands := demand.Matrix{}
+	for i, f := range flows {
+		if i == 0 {
+			demands[f] = 100 // elephant
+		} else {
+			demands[f] = 0.05 // mice
+		}
+	}
+	withMice := NewSolver(net, tun, Options{MiceFraction: 0.01})
+	st, stats, err := withMice.Solve(Input{Demands: demands, Prot: Protection{Ke: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Guarantee must still hold with the shortcut.
+	if v := VerifyDataPlane(net, tun, st, 1, 0, nil); v != nil {
+		t.Fatalf("mice shortcut broke the guarantee: %+v", v)
+	}
+	without := NewSolver(net, tun, Options{})
+	st2, stats2, err := without.Solve(Input{Demands: demands, Prot: Protection{Ke: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Vars >= stats2.Vars {
+		t.Fatalf("mice shortcut did not reduce variables: %d vs %d", stats.Vars, stats2.Vars)
+	}
+	if st.TotalRate() < st2.TotalRate()-0.2 {
+		t.Fatalf("mice shortcut lost too much throughput: %v vs %v", st.TotalRate(), st2.TotalRate())
+	}
+}
+
+func TestMinMLUObjective(t *testing.T) {
+	fx := newFig25(t)
+	s := NewSolver(fx.net, fx.tun, Options{Objective: MinMLU})
+	// Offered 14 through a 10-capacity direct path with a via alternative:
+	// MLU should be 14/20 split across both tunnels = 0.7.
+	st, stats, err := s.Solve(Input{Demands: demand.Matrix{fx.f24: 14}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(st.Rate[fx.f24]-14) > 1e-6 {
+		t.Fatalf("MinMLU must carry offered demand, got %v", st.Rate[fx.f24])
+	}
+	if math.Abs(stats.MLU-0.7) > 1e-5 {
+		t.Fatalf("MLU %v, want 0.7", stats.MLU)
+	}
+}
+
+func TestMinMLUOversubscribed(t *testing.T) {
+	fx := newFig25(t)
+	s := NewSolver(fx.net, fx.tun, Options{Objective: MinMLU})
+	st, stats, err := s.Solve(Input{Demands: demand.Matrix{fx.f24: 30}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.MLU <= 1 {
+		t.Fatalf("MLU %v, want > 1 for oversubscribed demand", stats.MLU)
+	}
+	_ = st
+}
+
+func TestMinMLUWithControlFFC(t *testing.T) {
+	fx := newFig25(t)
+	prev := NewState()
+	prev.Rate[fx.f24], prev.Alloc[fx.f24] = 10, []float64{7, 3}
+	prev.Rate[fx.f34], prev.Alloc[fx.f34] = 10, []float64{7, 3}
+	s := NewSolver(fx.net, fx.tun, Options{Objective: MinMLU, MLUSigma: 0.5})
+	st, stats, err := s.Solve(Input{
+		Demands: demand.Matrix{fx.f24: 10, fx.f34: 10, fx.f14: 4},
+		Prot:    Protection{Kc: 2},
+		Prev:    prev,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.MLU > 1+1e-6 {
+		t.Fatalf("MLU %v, want ≤ 1 (fits as shown by the throughput test)", stats.MLU)
+	}
+	if v := VerifyControlPlane(fx.net, fx.tun, st, prev, 2, LimitersSynced, nil); v != nil {
+		t.Fatalf("MinMLU control FFC violated: %+v", v)
+	}
+}
+
+func TestUncertainFlows(t *testing.T) {
+	fx := newFig25(t)
+	// Flow f24's configuration is uncertain between older [10,0] and
+	// prev [7,3]. It must stay pinned to prev and both are planned for.
+	prev := NewState()
+	prev.Rate[fx.f24], prev.Alloc[fx.f24] = 10, []float64{7, 3}
+	prev.Rate[fx.f34], prev.Alloc[fx.f34] = 10, []float64{10, 0}
+	s := NewSolver(fx.net, fx.tun, Options{})
+	st, _, err := s.Solve(Input{
+		Demands: demand.Matrix{fx.f24: 10, fx.f34: 10, fx.f14: 10},
+		Prot:    Protection{Kc: 1},
+		Prev:    prev,
+		Uncertain: map[tunnel.Flow]Uncertain{
+			fx.f24: {AllocOlder: []float64{10, 0}, RateOlder: 10},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(st.Rate[fx.f24]-10) > 1e-9 || math.Abs(st.Alloc[fx.f24][0]-7) > 1e-9 || math.Abs(st.Alloc[fx.f24][1]-3) > 1e-9 {
+		t.Fatalf("uncertain flow not pinned: %v %v", st.Rate[fx.f24], st.Alloc[fx.f24])
+	}
+	// s1−s4 must reserve for f24's worst old config (3 via s1) plus one
+	// stale switch: new flow ≤ 10 − 3(uncertain worst) = 7, minus 0 for
+	// f34 (no old via-s1 weight) → admitted 7.
+	if st.Rate[fx.f14] > 7+1e-6 {
+		t.Fatalf("new flow %v exceeds the uncertainty-safe bound 7", st.Rate[fx.f14])
+	}
+}
+
+func TestRateCapsAndFixedRates(t *testing.T) {
+	fx := newFig25(t)
+	s := NewSolver(fx.net, fx.tun, Options{})
+	st, _, err := s.Solve(Input{
+		Demands:    demand.Matrix{fx.f24: 10, fx.f34: 10},
+		RateCaps:   map[tunnel.Flow]float64{fx.f24: 4},
+		FixedRates: map[tunnel.Flow]float64{fx.f34: 2.5},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Rate[fx.f24] > 4+1e-9 {
+		t.Fatalf("rate cap violated: %v", st.Rate[fx.f24])
+	}
+	if math.Abs(st.Rate[fx.f34]-2.5) > 1e-9 {
+		t.Fatalf("fixed rate not honored: %v", st.Rate[fx.f34])
+	}
+}
+
+func TestControlFFCRequiresPrev(t *testing.T) {
+	fx := newFig25(t)
+	s := NewSolver(fx.net, fx.tun, Options{})
+	_, _, err := s.Solve(Input{Demands: demand.Matrix{fx.f24: 1}, Prot: Protection{Kc: 1}})
+	if err == nil {
+		t.Fatal("expected error: kc>0 without previous state")
+	}
+}
+
+func TestOverloadedLinkSkipsKc(t *testing.T) {
+	// §4.5: when the previous state already overloads a link, control FFC
+	// for that link is waived so traffic can be moved away at all.
+	fx := newFig25(t)
+	prev := NewState()
+	prev.Rate[fx.f24], prev.Alloc[fx.f24] = 14, []float64{2, 12} // 12 on s1−s4: overloaded
+	prev.Rate[fx.f34], prev.Alloc[fx.f34] = 0, []float64{0, 0}
+	s := NewSolver(fx.net, fx.tun, Options{})
+	st, _, err := s.Solve(Input{
+		Demands: demand.Matrix{fx.f24: 14},
+		Prot:    Protection{Kc: 2},
+		Prev:    prev,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Without the waiver this would be infeasible at full rate; with it
+	// the flow keeps its 14 units.
+	if math.Abs(st.Rate[fx.f24]-14) > 1e-6 {
+		t.Fatalf("rate %v, want 14 via the §4.5 waiver", st.Rate[fx.f24])
+	}
+}
+
+func TestCapacityOverride(t *testing.T) {
+	fx := newFig25(t)
+	s := NewSolver(fx.net, fx.tun, Options{})
+	direct := fx.net.FindLink(fx.s2, fx.s4)
+	via1 := fx.net.FindLink(fx.s2, fx.s1)
+	via2 := fx.net.FindLink(fx.s1, fx.s4)
+	st, _, err := s.Solve(Input{
+		Demands: demand.Matrix{fx.f24: 10},
+		Capacity: map[topology.LinkID]float64{
+			direct: 2, via1: 3, via2: 3,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(st.Rate[fx.f24]-5) > 1e-6 {
+		t.Fatalf("rate %v, want 5 under shrunken capacities", st.Rate[fx.f24])
+	}
+}
+
+func TestStatsEncodingAccounting(t *testing.T) {
+	rng := rand.New(rand.NewSource(321))
+	net, tun, flows := randomNetwork(rng, 7, 6)
+	demands := demand.Matrix{}
+	for _, f := range flows {
+		demands[f] = 5
+	}
+	s := NewSolver(net, tun, Options{})
+	prev, _, err := s.Solve(Input{Demands: demands})
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := Input{Demands: demands, Prot: Protection{Kc: 2, Ke: 1}, Prev: prev}
+	sn := NewSolver(net, tun, Options{Encoding: SortNet})
+	_, stSN, err := sn.Solve(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cp := NewSolver(net, tun, Options{Encoding: Compact})
+	_, stCP, err := cp.Solve(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stSN.EncodingConstraints == 0 || stCP.EncodingConstraints == 0 {
+		t.Fatal("encoding accounting missing")
+	}
+}
+
+func TestDownLinksExcludeTunnels(t *testing.T) {
+	fx := newFig25(t)
+	s := NewSolver(fx.net, fx.tun, Options{})
+	direct := fx.net.FindLink(fx.s2, fx.s4)
+	st, _, err := s.Solve(Input{
+		Demands:   demand.Matrix{fx.f24: 14},
+		DownLinks: map[topology.LinkID]bool{direct: true},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Alloc[fx.f24][0] != 0 {
+		t.Fatalf("dead tunnel carries %v", st.Alloc[fx.f24][0])
+	}
+	if math.Abs(st.Rate[fx.f24]-10) > 1e-6 {
+		t.Fatalf("rate %v, want 10 (via-s1 only)", st.Rate[fx.f24])
+	}
+}
+
+func TestDownLinkWithFFCTauOverAlive(t *testing.T) {
+	// With the direct tunnel down only one tunnel survives; ke=1 can kill
+	// it, so the flow must be refused entirely.
+	fx := newFig25(t)
+	s := NewSolver(fx.net, fx.tun, Options{})
+	direct := fx.net.FindLink(fx.s2, fx.s4)
+	st, _, err := s.Solve(Input{
+		Demands:   demand.Matrix{fx.f24: 14},
+		Prot:      Protection{Ke: 1},
+		DownLinks: map[topology.LinkID]bool{direct: true},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Rate[fx.f24] != 0 {
+		t.Fatalf("rate %v, want 0 under ke=1 with one surviving tunnel", st.Rate[fx.f24])
+	}
+}
+
+func TestDownSwitchExcludesTunnels(t *testing.T) {
+	fx := newFig25(t)
+	s := NewSolver(fx.net, fx.tun, Options{})
+	st, _, err := s.Solve(Input{
+		Demands:      demand.Matrix{fx.f24: 14},
+		DownSwitches: map[topology.SwitchID]bool{fx.s1: true},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Alloc[fx.f24][1] != 0 {
+		t.Fatalf("tunnel via failed switch carries %v", st.Alloc[fx.f24][1])
+	}
+	if math.Abs(st.Rate[fx.f24]-10) > 1e-6 {
+		t.Fatalf("rate %v, want 10 (direct only)", st.Rate[fx.f24])
+	}
+}

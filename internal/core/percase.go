@@ -1,0 +1,184 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"ffc/internal/lp"
+	"ffc/internal/topology"
+	"ffc/internal/tunnel"
+)
+
+// SolvePerCaseOptimal implements the comparison point of §9's related work
+// (Suchara et al.): instead of one traffic spread plus proportional
+// rescaling, the ingress switches hold a *precomputed optimal split per
+// anticipated failure case*. Rates {bf} are shared across cases (the rate
+// limiter does not react to failures); per-tunnel splits may differ
+// arbitrarily per case. The result upper-bounds every proactive
+// rescaling scheme on the same case set — the gap to FFC's single
+// configuration is the price of commodity-switch proportional rescaling,
+// which the paper argues is small for disjoint tunnel layouts.
+//
+// cases lists the anticipated fault sets; the no-fault case is always
+// included. Each case's physical link failures take both directions of a
+// duplex link, as everywhere in this repository.
+func (s *Solver) SolvePerCaseOptimal(in Input, cases []FailureCase) (*State, *Stats, error) {
+	model := lp.NewModel()
+	flows := in.Demands.Flows()
+
+	// Shared rates and base-case allocations.
+	bVar := map[tunnel.Flow]lp.Var{}
+	base := map[tunnel.Flow][]lp.Var{}
+	obj := lp.NewExpr()
+	for _, f := range flows {
+		d := in.Demands[f]
+		if d <= 0 || len(s.Tun.Tunnels(f)) == 0 {
+			continue
+		}
+		bVar[f] = model.NewVar(fmt.Sprintf("b[%v]", f), 0, d)
+		obj.Add(1, bVar[f])
+		ts := s.Tun.Tunnels(f)
+		vars := make([]lp.Var, len(ts))
+		for i := range ts {
+			vars[i] = model.NewVar(fmt.Sprintf("a[%v,%d]", f, i), 0, lp.Inf)
+		}
+		base[f] = vars
+		cover := lp.NewExpr()
+		for _, v := range vars {
+			cover.Add(1, v)
+		}
+		model.AddGE(cover.Add(-1, bVar[f]), 0)
+	}
+	s.addCaseCapacity(model, in, base, nil, nil)
+
+	// Per failure case: affected flows get fresh split variables; the
+	// rest keep the base split. A flow whose tunnels all die pins bf = 0.
+	for ci, fc := range cases {
+		down := fc.downLinks(s.Net)
+		downSw := map[topology.SwitchID]bool{}
+		for _, v := range fc.Switches {
+			downSw[v] = true
+		}
+		caseAlloc := map[tunnel.Flow][]lp.Var{}
+		for _, f := range flows {
+			if _, ok := bVar[f]; !ok {
+				continue
+			}
+			ts := s.Tun.Tunnels(f)
+			affected := false
+			anyAlive := false
+			for _, t := range ts {
+				if t.Alive(s.Net, down, downSw) {
+					anyAlive = true
+				} else {
+					affected = true
+				}
+			}
+			if downSw[f.Src] || downSw[f.Dst] {
+				anyAlive = false
+			}
+			if !anyAlive {
+				model.SetBounds(bVar[f], 0, 0)
+				continue
+			}
+			if !affected {
+				continue // keeps the base split in this case
+			}
+			vars := make([]lp.Var, len(ts))
+			cover := lp.NewExpr()
+			for i, t := range ts {
+				if !t.Alive(s.Net, down, downSw) {
+					vars[i] = -1
+					continue
+				}
+				v := model.NewVar(fmt.Sprintf("a%d[%v,%d]", ci, f, i), 0, lp.Inf)
+				vars[i] = v
+				cover.Add(1, v)
+			}
+			caseAlloc[f] = vars
+			model.AddGE(cover.Add(-1, bVar[f]), 0)
+		}
+		s.addCaseCapacity(model, in, base, caseAlloc, down)
+	}
+
+	model.Maximize(obj)
+	sol, err := model.Solve()
+	stats := &Stats{
+		Status: sol.Status, Objective: sol.Objective,
+		Vars: model.NumVars(), Constraints: model.NumRows(), Iters: sol.Iters,
+	}
+	if err != nil {
+		return nil, stats, fmt.Errorf("core: per-case solve: %w", err)
+	}
+	st := NewState()
+	for f, bv := range bVar {
+		st.Rate[f] = clampTiny(sol.Value(bv))
+		alloc := make([]float64, len(base[f]))
+		for i, v := range base[f] {
+			alloc[i] = clampTiny(sol.Value(v))
+		}
+		st.Alloc[f] = alloc
+	}
+	return st, stats, nil
+}
+
+// addCaseCapacity emits link-capacity rows for one case: flows present in
+// caseAlloc use their per-case variables (with dead tunnels omitted),
+// everyone else the base variables. Links in down are skipped.
+func (s *Solver) addCaseCapacity(model *lp.Model, in Input,
+	base, caseAlloc map[tunnel.Flow][]lp.Var, down map[topology.LinkID]bool) {
+
+	for _, l := range s.Net.Links {
+		if down[l.ID] {
+			continue
+		}
+		use := lp.NewExpr()
+		for _, ft := range s.incidence[l.ID] {
+			vars, ok := caseAlloc[ft.flow]
+			if !ok {
+				vars, ok = base[ft.flow]
+				if !ok {
+					continue
+				}
+			}
+			if v := vars[ft.idx]; v >= 0 {
+				use.Add(1, v)
+			}
+		}
+		if len(use.Terms) == 0 {
+			continue
+		}
+		model.AddLE(use, s.capacity(&in, l.ID))
+	}
+}
+
+// FailureCase is one anticipated fault set.
+type FailureCase struct {
+	// Links lists physical links (either direction identifies the pair).
+	Links []topology.LinkID
+	// Switches lists failed switches.
+	Switches []topology.SwitchID
+}
+
+func (fc FailureCase) downLinks(net *topology.Network) map[topology.LinkID]bool {
+	down := map[topology.LinkID]bool{}
+	for _, l := range fc.Links {
+		down[l] = true
+		if tw := net.Links[l].Twin; tw != topology.None {
+			down[tw] = true
+		}
+	}
+	return down
+}
+
+// SingleLinkCases enumerates one FailureCase per physical link.
+func SingleLinkCases(net *topology.Network) []FailureCase {
+	var out []FailureCase
+	for _, l := range net.Links {
+		if l.Twin == topology.None || l.ID < l.Twin {
+			out = append(out, FailureCase{Links: []topology.LinkID{l.ID}})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Links[0] < out[j].Links[0] })
+	return out
+}

@@ -1,0 +1,206 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"ffc/internal/topology"
+	"ffc/internal/tunnel"
+)
+
+// Violation describes one fault case that overloads a link.
+type Violation struct {
+	Case string
+	Link topology.LinkID
+	// Over is load − capacity (positive).
+	Over float64
+}
+
+// VerifyDataPlane enumerates every fault case with up to ke physical link
+// failures and kv switch failures, applies ingress rescaling, and returns
+// the worst overload found (nil if the state is congestion-free in all
+// cases — the guarantee of Lemma 1). Exponential in (ke, kv); intended for
+// tests and small networks.
+func VerifyDataPlane(net *topology.Network, tun *tunnel.Set, st *State, ke, kv int, capacity map[topology.LinkID]float64) *Violation {
+	links := physicalLinks(net)
+	var switches []topology.SwitchID
+	for _, sw := range net.Switches {
+		switches = append(switches, sw.ID)
+	}
+	var worst *Violation
+	forEachComboUpTo(len(links), ke, func(li []int) {
+		down := map[topology.LinkID]bool{}
+		for _, i := range li {
+			down[links[i]] = true
+			if tw := net.Links[links[i]].Twin; tw != topology.None {
+				down[tw] = true
+			}
+		}
+		forEachComboUpTo(len(switches), kv, func(si []int) {
+			downSw := map[topology.SwitchID]bool{}
+			for _, i := range si {
+				downSw[switches[i]] = true
+			}
+			v := checkRescaledLoads(net, tun, st, down, downSw, capacity)
+			if v != nil {
+				v.Case = fmt.Sprintf("links=%v switches=%v", li, si)
+				if worst == nil || v.Over > worst.Over {
+					worst = v
+				}
+			}
+		})
+	})
+	return worst
+}
+
+// checkRescaledLoads computes per-link load after every ingress rescales
+// around the fault sets, skipping links that are themselves down, and
+// returns the worst overload (nil if none). Flows whose ingress or egress
+// switch failed send nothing.
+func checkRescaledLoads(net *topology.Network, tun *tunnel.Set, st *State,
+	down map[topology.LinkID]bool, downSw map[topology.SwitchID]bool,
+	capacity map[topology.LinkID]float64) *Violation {
+
+	loads := map[topology.LinkID]float64{}
+	for _, f := range tun.All() {
+		rate := st.Rate[f]
+		if rate == 0 || downSw[f.Src] || downSw[f.Dst] {
+			continue
+		}
+		w := st.Weights(f)
+		tl := tun.Rescale(f, w, rate, down, downSw)
+		for _, t := range tun.Tunnels(f) {
+			if tl[t.Index] == 0 {
+				continue
+			}
+			for _, l := range t.Links {
+				loads[l] += tl[t.Index]
+			}
+		}
+	}
+	var worst *Violation
+	for l, load := range loads {
+		if down[l] {
+			continue
+		}
+		c := net.Links[l].Capacity
+		if capacity != nil {
+			if o, ok := capacity[l]; ok {
+				c = o
+			}
+		}
+		if over := load - c; over > 1e-6*math.Max(1, c) {
+			if worst == nil || over > worst.Over {
+				worst = &Violation{Link: l, Over: over}
+			}
+		}
+	}
+	return worst
+}
+
+// VerifyControlPlane enumerates every set of up to kc ingress switches whose
+// configuration update fails. A failed switch keeps old tunnel-splitting
+// weights per the rate-limiter mode; per-flow the adversary picks whichever
+// of old/new behavior loads each link more (a sound upper bound on any
+// realizable combination). Returns the worst overload, or nil.
+func VerifyControlPlane(net *topology.Network, tun *tunnel.Set, newSt, oldSt *State,
+	kc int, mode RateLimiterMode, capacity map[topology.LinkID]float64) *Violation {
+
+	// Per-link per-source contributions under "updated" and "stale".
+	type key struct {
+		link topology.LinkID
+		src  topology.SwitchID
+	}
+	newLoad := map[key]float64{}
+	staleLoad := map[key]float64{}
+	srcSet := map[topology.SwitchID]bool{}
+
+	for _, f := range tun.All() {
+		srcSet[f.Src] = true
+		alloc := newSt.Alloc[f]
+		oldW := tunnel.Weights(oldSt.Alloc[f])
+		newW := newSt.Weights(f)
+		for _, t := range tun.Tunnels(f) {
+			a := idx(alloc, t.Index)
+			var stale float64
+			switch mode {
+			case LimitersOrdered:
+				stale = math.Max(idx(oldSt.Alloc[f], t.Index), a)
+			case LimitersIndependent:
+				// Any mix of {old,new} weights × {old,new} rate.
+				stale = math.Max(math.Max(idx(oldSt.Alloc[f], t.Index), a),
+					math.Max(idx(oldW, t.Index)*newSt.Rate[f],
+						idx(newW, t.Index)*oldSt.Rate[f]))
+			default: // LimitersSynced: old weights, new rate
+				stale = math.Max(idx(oldW, t.Index)*newSt.Rate[f], a)
+			}
+			for _, l := range t.Links {
+				newLoad[key{l, f.Src}] += a
+				staleLoad[key{l, f.Src}] += stale
+			}
+		}
+	}
+	var srcs []topology.SwitchID
+	for v := range srcSet {
+		srcs = append(srcs, v)
+	}
+	sortSwitchIDs(srcs)
+
+	var worst *Violation
+	forEachComboUpTo(len(srcs), kc, func(sel []int) {
+		failed := map[topology.SwitchID]bool{}
+		for _, i := range sel {
+			failed[srcs[i]] = true
+		}
+		for _, l := range net.Links {
+			var load float64
+			for _, v := range srcs {
+				if failed[v] {
+					load += staleLoad[key{l.ID, v}]
+				} else {
+					load += newLoad[key{l.ID, v}]
+				}
+			}
+			c := l.Capacity
+			if capacity != nil {
+				if o, ok := capacity[l.ID]; ok {
+					c = o
+				}
+			}
+			if over := load - c; over > 1e-6*math.Max(1, c) {
+				if worst == nil || over > worst.Over {
+					worst = &Violation{Case: fmt.Sprintf("failed=%v link=%d", sel, l.ID), Link: l.ID, Over: over}
+				}
+			}
+		}
+	})
+	return worst
+}
+
+func physicalLinks(net *topology.Network) []topology.LinkID {
+	var out []topology.LinkID
+	for _, l := range net.Links {
+		if l.Twin == topology.None || l.ID < l.Twin {
+			out = append(out, l.ID)
+		}
+	}
+	return out
+}
+
+func sortSwitchIDs(s []topology.SwitchID) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}
+
+// forEachComboUpTo calls fn with every index combination of size 0..k.
+func forEachComboUpTo(n, k int, fn func([]int)) {
+	if k > n {
+		k = n
+	}
+	for size := 0; size <= k; size++ {
+		forEachCombo(n, size, fn)
+	}
+}

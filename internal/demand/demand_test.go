@@ -1,0 +1,140 @@
+package demand
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"ffc/internal/topology"
+	"ffc/internal/tunnel"
+)
+
+func genSeries(t *testing.T, seed int64, cfg Config) (*topology.Network, Series) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	net := topology.LNet(topology.LNetConfig{}, rng)
+	return net, Generate(net, cfg, rng)
+}
+
+func TestGenerateShape(t *testing.T) {
+	net, s := genSeries(t, 1, Config{Intervals: 10})
+	if len(s) != 10 {
+		t.Fatalf("%d intervals, want 10", len(s))
+	}
+	sites := map[string]bool{}
+	for _, sw := range net.Switches {
+		sites[sw.Site] = true
+	}
+	wantFlows := len(sites) * (len(sites) - 1)
+	for i, m := range s {
+		if len(m) != wantFlows {
+			t.Fatalf("interval %d: %d flows, want %d", i, len(m), wantFlows)
+		}
+		for f, d := range m {
+			if d <= 0 || math.IsNaN(d) || math.IsInf(d, 0) {
+				t.Fatalf("interval %d: flow %v demand %v", i, f, d)
+			}
+			if f.Src == f.Dst {
+				t.Fatalf("self flow %v", f)
+			}
+			if net.Switches[f.Src].Site == net.Switches[f.Dst].Site {
+				t.Fatalf("intra-site flow %v", f)
+			}
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	_, a := genSeries(t, 7, Config{Intervals: 5})
+	_, b := genSeries(t, 7, Config{Intervals: 5})
+	for i := range a {
+		for f, v := range a[i] {
+			if b[i][f] != v {
+				t.Fatalf("interval %d flow %v: %v != %v", i, f, v, b[i][f])
+			}
+		}
+	}
+}
+
+func TestGenerateVariesAcrossIntervals(t *testing.T) {
+	_, s := genSeries(t, 3, Config{Intervals: 20})
+	f := s[0].Flows()[0]
+	varies := false
+	for i := 1; i < len(s); i++ {
+		if math.Abs(s[i][f]-s[0][f]) > 1e-9 {
+			varies = true
+			break
+		}
+	}
+	if !varies {
+		t.Fatal("demand constant across intervals; diurnal/noise missing")
+	}
+}
+
+func TestScaleAndTotal(t *testing.T) {
+	m := Matrix{tunnel.Flow{Src: 0, Dst: 1}: 2, tunnel.Flow{Src: 1, Dst: 0}: 3}
+	if m.Total() != 5 {
+		t.Fatalf("Total = %v", m.Total())
+	}
+	s := m.Scale(2)
+	if s.Total() != 10 || m.Total() != 5 {
+		t.Fatalf("Scale mutated original or wrong: %v %v", s.Total(), m.Total())
+	}
+}
+
+func TestFlowsDeterministicOrder(t *testing.T) {
+	m := Matrix{
+		{Src: 2, Dst: 1}: 1, {Src: 0, Dst: 3}: 1, {Src: 0, Dst: 1}: 1,
+	}
+	fs := m.Flows()
+	if fs[0] != (tunnel.Flow{Src: 0, Dst: 1}) || fs[1] != (tunnel.Flow{Src: 0, Dst: 3}) || fs[2] != (tunnel.Flow{Src: 2, Dst: 1}) {
+		t.Fatalf("order %v", fs)
+	}
+}
+
+func TestRandomSplitsSumToOne(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	flows := []tunnel.Flow{{Src: 0, Dst: 1}, {Src: 1, Dst: 2}}
+	splits := RandomSplits(flows, rng)
+	for f, s := range splits {
+		if math.Abs(s.High+s.Med+s.Low-1) > 1e-12 {
+			t.Fatalf("flow %v split sums to %v", f, s.High+s.Med+s.Low)
+		}
+		if s.High <= 0 || s.High > 0.25+1e-9 {
+			t.Fatalf("high share %v out of range", s.High)
+		}
+		if s.Low < 0.3 {
+			t.Fatalf("low share %v implausibly small", s.Low)
+		}
+	}
+}
+
+func TestByPriorityPartitions(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	m := Matrix{{Src: 0, Dst: 1}: 10, {Src: 1, Dst: 0}: 4}
+	splits := RandomSplits(m.Flows(), rng)
+	parts := ByPriority(m, splits)
+	for f, d := range m {
+		sum := parts[High][f] + parts[Med][f] + parts[Low][f]
+		if math.Abs(sum-d) > 1e-9 {
+			t.Fatalf("flow %v: parts sum %v != %v", f, sum, d)
+		}
+	}
+}
+
+func TestByPriorityMissingSplitGoesLow(t *testing.T) {
+	m := Matrix{{Src: 0, Dst: 1}: 6}
+	parts := ByPriority(m, nil)
+	if parts[Low][tunnel.Flow{Src: 0, Dst: 1}] != 6 || parts[High][tunnel.Flow{Src: 0, Dst: 1}] != 0 {
+		t.Fatalf("unsplit flow should be all low: %v", parts)
+	}
+}
+
+func TestPriorityOrdering(t *testing.T) {
+	if !(High > Med && Med > Low) {
+		t.Fatal("priority constants out of order")
+	}
+	if High.String() != "high" || Low.String() != "low" || Med.String() != "med" {
+		t.Fatal("priority names wrong")
+	}
+}

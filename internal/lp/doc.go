@@ -1,0 +1,26 @@
+// Package lp implements a self-contained linear-programming toolkit:
+// a model builder (variables with bounds, linear constraints, a linear
+// objective) and a bounded-variable revised-simplex solver.
+//
+// The FFC traffic-engineering formulations of this repository are plain
+// linear programs. The original paper solved them with Microsoft Solver
+// Foundation backed by CPLEX; this package is the pure-Go substitute.
+// It is exact in the usual floating-point-simplex sense and is validated
+// in the tests against brute-force vertex enumeration on small instances.
+//
+// Typical usage:
+//
+//	m := lp.NewModel()
+//	x := m.NewVar("x", 0, 4)
+//	y := m.NewVar("y", 0, lp.Inf)
+//	m.AddLE(lp.NewExpr().Add(1, x).Add(2, y), 14)
+//	m.AddGE(lp.NewExpr().Add(3, x).Add(-1, y), 0)
+//	m.Maximize(lp.NewExpr().Add(1, x).Add(1, y))
+//	sol, err := m.Solve()
+//
+// The solver uses a revised simplex with an explicit dense basis inverse,
+// bounded variables (variable bounds never become rows), a Phase-I with
+// per-row artificials, Dantzig pricing with a Bland fallback for
+// anti-cycling, incremental reduced-cost updates, and periodic
+// refactorization (re-inversion) for numerical hygiene.
+package lp

@@ -1,0 +1,116 @@
+package lp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestDualsSimpleMax(t *testing.T) {
+	// max 3x + 2y s.t. x + y ≤ 4, x + 3y ≤ 6, x,y ≥ 0.
+	// Optimum (4, 0), obj 12. Duals: row1 = 3 (binding), row2 = 0 (slack).
+	m := NewModel()
+	x := m.NewVar("x", 0, Inf)
+	y := m.NewVar("y", 0, Inf)
+	r1 := m.AddLE(NewExpr().Add(1, x).Add(1, y), 4)
+	r2 := m.AddLE(NewExpr().Add(1, x).Add(3, y), 6)
+	m.Maximize(NewExpr().Add(3, x).Add(2, y))
+	sol, err := m.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almost(sol.Objective, 12, 1e-6) {
+		t.Fatalf("objective %v", sol.Objective)
+	}
+	if !almost(sol.Duals[r1], 3, 1e-6) {
+		t.Fatalf("dual r1 = %v, want 3", sol.Duals[r1])
+	}
+	if !almost(sol.Duals[r2], 0, 1e-6) {
+		t.Fatalf("dual r2 = %v, want 0", sol.Duals[r2])
+	}
+}
+
+func TestDualsBothBinding(t *testing.T) {
+	// max x + y s.t. 2x + y ≤ 10, x + 2y ≤ 10 → (10/3, 10/3), duals 1/3 each.
+	m := NewModel()
+	x := m.NewVar("x", 0, Inf)
+	y := m.NewVar("y", 0, Inf)
+	r1 := m.AddLE(NewExpr().Add(2, x).Add(1, y), 10)
+	r2 := m.AddLE(NewExpr().Add(1, x).Add(2, y), 10)
+	m.Maximize(NewExpr().Add(1, x).Add(1, y))
+	sol, err := m.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almost(sol.Duals[r1], 1.0/3, 1e-6) || !almost(sol.Duals[r2], 1.0/3, 1e-6) {
+		t.Fatalf("duals %v %v, want 1/3 each", sol.Duals[r1], sol.Duals[r2])
+	}
+}
+
+func TestDualsGERowSign(t *testing.T) {
+	// min 2x s.t. x ≥ 3 (row). Dual of the GE row in a minimization:
+	// dObj*/dRHS = +2 (raising the floor raises the minimum cost).
+	m := NewModel()
+	x := m.NewVar("x", 0, Inf)
+	r := m.AddGE(NewExpr().Add(1, x), 3)
+	m.Minimize(NewExpr().Add(2, x))
+	sol, err := m.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almost(sol.Duals[r], 2, 1e-6) {
+		t.Fatalf("dual = %v, want 2", sol.Duals[r])
+	}
+}
+
+// TestDualsPerturbationProperty: duals predict the objective change for a
+// small RHS perturbation of a binding constraint.
+func TestDualsPerturbationProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	for trial := 0; trial < 40; trial++ {
+		n, k := 4, 4
+		build := func(bump int, eps float64) (*Model, []int) {
+			m := NewModel()
+			vars := make([]Var, n)
+			r2 := rand.New(rand.NewSource(int64(trial))) // same structure per trial
+			for j := range vars {
+				vars[j] = m.NewVar("v", 0, 2+r2.Float64()*4)
+			}
+			rows := make([]int, k)
+			for i := 0; i < k; i++ {
+				e := NewExpr()
+				for j := range vars {
+					e.Add(0.2+r2.Float64(), vars[j])
+				}
+				rhs := 1 + r2.Float64()*6
+				if i == bump {
+					rhs += eps
+				}
+				rows[i] = m.AddLE(e, rhs)
+			}
+			obj := NewExpr()
+			for j := range vars {
+				obj.Add(0.5+r2.Float64(), vars[j])
+			}
+			m.Maximize(obj)
+			return m, rows
+		}
+		bump := rng.Intn(k)
+		m0, rows := build(-1, 0)
+		sol0, err := m0.Solve()
+		if err != nil {
+			t.Fatal(err)
+		}
+		const eps = 1e-4
+		m1, _ := build(bump, eps)
+		sol1, err := m1.Solve()
+		if err != nil {
+			t.Fatal(err)
+		}
+		predicted := sol0.Objective + eps*sol0.Duals[rows[bump]]
+		if math.Abs(sol1.Objective-predicted) > 1e-6 {
+			t.Fatalf("trial %d: perturbed obj %v, predicted %v (dual %v)",
+				trial, sol1.Objective, predicted, sol0.Duals[rows[bump]])
+		}
+	}
+}

@@ -1,0 +1,178 @@
+package lp
+
+import "math"
+
+// Brute-force reference solver for small LPs, used only in tests.
+// It enumerates vertices of the feasible polytope: every vertex of
+// {x : Ax (sense) b, l ≤ x ≤ u} (with finite l, u) is the solution of n
+// linearly independent equations chosen from the rows (at equality) and the
+// variable bounds.
+
+type refProblem struct {
+	n        int
+	maximize bool
+	obj      []float64
+	rows     [][]float64
+	sense    []Sense
+	rhs      []float64
+	lo, hi   []float64
+}
+
+// refSolve returns (best objective, found) by vertex enumeration. All
+// variable bounds must be finite, guaranteeing the feasible set is a
+// polytope whose optimum (when feasible) is attained at a vertex.
+func refSolve(p *refProblem) (float64, []float64, bool) {
+	type cand struct {
+		row []float64
+		rhs float64
+	}
+	var cands []cand
+	for i, r := range p.rows {
+		_ = p.sense[i]
+		cands = append(cands, cand{r, p.rhs[i]})
+	}
+	for j := 0; j < p.n; j++ {
+		row := make([]float64, p.n)
+		row[j] = 1
+		cands = append(cands, cand{row, p.lo[j]})
+		if p.hi[j] != p.lo[j] {
+			row2 := make([]float64, p.n)
+			row2[j] = 1
+			cands = append(cands, cand{row2, p.hi[j]})
+		}
+	}
+	best := math.Inf(-1)
+	if !p.maximize {
+		best = math.Inf(1)
+	}
+	var bestX []float64
+	found := false
+	idx := make([]int, p.n)
+	var rec func(pos, start int)
+	rec = func(pos, start int) {
+		if pos == p.n {
+			a := make([]float64, p.n*p.n)
+			b := make([]float64, p.n)
+			for k, ci := range idx {
+				copy(a[k*p.n:(k+1)*p.n], cands[ci].row)
+				b[k] = cands[ci].rhs
+			}
+			x, ok := gaussSolve(a, b, p.n)
+			if !ok || !refFeasible(p, x) {
+				return
+			}
+			v := dot(p.obj, x)
+			if !found || (p.maximize && v > best) || (!p.maximize && v < best) {
+				best, found = v, true
+				bestX = append([]float64(nil), x...)
+			}
+			return
+		}
+		for c := start; c <= len(cands)-(p.n-pos); c++ {
+			idx[pos] = c
+			rec(pos+1, c+1)
+		}
+	}
+	rec(0, 0)
+	return best, bestX, found
+}
+
+func refFeasible(p *refProblem, x []float64) bool {
+	const tol = 1e-7
+	for j := 0; j < p.n; j++ {
+		if x[j] < p.lo[j]-tol || x[j] > p.hi[j]+tol {
+			return false
+		}
+	}
+	for i, r := range p.rows {
+		v := dot(r, x)
+		switch p.sense[i] {
+		case LE:
+			if v > p.rhs[i]+tol {
+				return false
+			}
+		case GE:
+			if v < p.rhs[i]-tol {
+				return false
+			}
+		case EQ:
+			if math.Abs(v-p.rhs[i]) > tol {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func dot(a, b []float64) float64 {
+	var v float64
+	for i := range a {
+		v += a[i] * b[i]
+	}
+	return v
+}
+
+// gaussSolve solves the n×n system a·x = b; ok is false when a is singular.
+func gaussSolve(a, b []float64, n int) ([]float64, bool) {
+	for col := 0; col < n; col++ {
+		p, best := -1, 1e-9
+		for r := col; r < n; r++ {
+			if v := math.Abs(a[r*n+col]); v > best {
+				p, best = r, v
+			}
+		}
+		if p < 0 {
+			return nil, false
+		}
+		if p != col {
+			swapRows(a, n, p, col)
+			b[p], b[col] = b[col], b[p]
+		}
+		piv := a[col*n+col]
+		for r := col + 1; r < n; r++ {
+			f := a[r*n+col] / piv
+			if f == 0 {
+				continue
+			}
+			for k := col; k < n; k++ {
+				a[r*n+k] -= f * a[col*n+k]
+			}
+			b[r] -= f * b[col]
+		}
+	}
+	x := make([]float64, n)
+	for r := n - 1; r >= 0; r-- {
+		v := b[r]
+		for k := r + 1; k < n; k++ {
+			v -= a[r*n+k] * x[k]
+		}
+		x[r] = v / a[r*n+r]
+	}
+	return x, true
+}
+
+// toModel converts a refProblem into an lp.Model.
+func (p *refProblem) toModel() (*Model, []Var) {
+	m := NewModel()
+	vars := make([]Var, p.n)
+	for j := 0; j < p.n; j++ {
+		vars[j] = m.NewVar("x", p.lo[j], p.hi[j])
+	}
+	for i, r := range p.rows {
+		e := NewExpr()
+		for j, c := range r {
+			e.Add(c, vars[j])
+		}
+		m.AddConstraint(e, p.sense[i], p.rhs[i])
+	}
+	obj := NewExpr()
+	for j, c := range p.obj {
+		obj.Add(c, vars[j])
+	}
+	if p.maximize {
+		m.Maximize(obj)
+	} else {
+		m.Minimize(obj)
+	}
+	return m, vars
+}

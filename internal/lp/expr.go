@@ -1,0 +1,124 @@
+package lp
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Inf is the bound used for unbounded variables.
+var Inf = math.Inf(1)
+
+// Var identifies a variable within a Model. The zero value is a valid
+// variable only if the model has created at least one variable; use the
+// value returned by Model.NewVar.
+type Var int
+
+// Term is one coefficient-variable product inside an Expr.
+type Term struct {
+	Coef float64
+	Var  Var
+}
+
+// Expr is a linear expression: a sum of terms plus a constant offset.
+// The zero value is an empty expression ready for use, but NewExpr reads
+// better at call sites.
+type Expr struct {
+	Terms    []Term
+	Constant float64
+}
+
+// NewExpr returns an empty linear expression.
+func NewExpr() *Expr { return &Expr{} }
+
+// Add appends coef·v to the expression and returns the expression to allow
+// chaining. Duplicate variables are permitted; the model combines them when
+// the expression is used.
+func (e *Expr) Add(coef float64, v Var) *Expr {
+	if coef != 0 {
+		e.Terms = append(e.Terms, Term{Coef: coef, Var: v})
+	}
+	return e
+}
+
+// AddConst adds a constant offset to the expression.
+func (e *Expr) AddConst(c float64) *Expr {
+	e.Constant += c
+	return e
+}
+
+// AddExpr adds scale·other to the expression.
+func (e *Expr) AddExpr(scale float64, other *Expr) *Expr {
+	if other == nil || scale == 0 {
+		return e
+	}
+	for _, t := range other.Terms {
+		e.Add(scale*t.Coef, t.Var)
+	}
+	e.Constant += scale * other.Constant
+	return e
+}
+
+// Clone returns a deep copy of the expression.
+func (e *Expr) Clone() *Expr {
+	c := &Expr{Constant: e.Constant, Terms: make([]Term, len(e.Terms))}
+	copy(c.Terms, e.Terms)
+	return c
+}
+
+// Sum returns an expression summing the given variables with coefficient 1.
+func Sum(vars ...Var) *Expr {
+	e := NewExpr()
+	for _, v := range vars {
+		e.Add(1, v)
+	}
+	return e
+}
+
+// compact merges duplicate variables and drops zero coefficients, returning
+// parallel slices sorted by variable index.
+func (e *Expr) compact() (idx []int32, coef []float64) {
+	if len(e.Terms) == 0 {
+		return nil, nil
+	}
+	ts := make([]Term, len(e.Terms))
+	copy(ts, e.Terms)
+	sort.Slice(ts, func(i, j int) bool { return ts[i].Var < ts[j].Var })
+	for _, t := range ts {
+		n := len(idx)
+		if n > 0 && idx[n-1] == int32(t.Var) {
+			coef[n-1] += t.Coef
+			continue
+		}
+		idx = append(idx, int32(t.Var))
+		coef = append(coef, t.Coef)
+	}
+	// Drop exact zeros produced by cancellation.
+	out := 0
+	for i := range idx {
+		if coef[i] != 0 {
+			idx[out], coef[out] = idx[i], coef[i]
+			out++
+		}
+	}
+	return idx[:out], coef[:out]
+}
+
+// String renders the expression for debugging.
+func (e *Expr) String() string {
+	var b strings.Builder
+	for i, t := range e.Terms {
+		if i > 0 {
+			b.WriteString(" + ")
+		}
+		fmt.Fprintf(&b, "%g*v%d", t.Coef, t.Var)
+	}
+	if e.Constant != 0 || len(e.Terms) == 0 {
+		if len(e.Terms) > 0 {
+			b.WriteString(" + ")
+		}
+		fmt.Fprintf(&b, "%g", e.Constant)
+	}
+	return b.String()
+}

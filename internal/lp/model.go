@@ -1,0 +1,250 @@
+package lp
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Sense is the direction of a linear constraint.
+type Sense int8
+
+const (
+	// LE constrains expr ≤ rhs.
+	LE Sense = iota
+	// GE constrains expr ≥ rhs.
+	GE
+	// EQ constrains expr = rhs.
+	EQ
+)
+
+func (s Sense) String() string {
+	switch s {
+	case LE:
+		return "<="
+	case GE:
+		return ">="
+	case EQ:
+		return "=="
+	}
+	return "?"
+}
+
+// Status reports the outcome of a solve.
+type Status int8
+
+const (
+	// Optimal means an optimal solution was found.
+	Optimal Status = iota
+	// Infeasible means no point satisfies all constraints and bounds.
+	Infeasible
+	// Unbounded means the objective can be improved without limit.
+	Unbounded
+	// IterLimit means the solver gave up after MaxIters iterations.
+	IterLimit
+)
+
+func (s Status) String() string {
+	switch s {
+	case Optimal:
+		return "optimal"
+	case Infeasible:
+		return "infeasible"
+	case Unbounded:
+		return "unbounded"
+	case IterLimit:
+		return "iteration-limit"
+	}
+	return "unknown"
+}
+
+// ErrNotOptimal is wrapped by Solve errors when the status is not Optimal.
+var ErrNotOptimal = errors.New("lp: no optimal solution")
+
+type column struct {
+	name    string
+	lo, hi  float64
+	obj     float64 // objective coefficient (in the user's direction)
+	rowIdx  []int32
+	rowCoef []float64
+}
+
+type rowMeta struct {
+	name  string
+	sense Sense
+	rhs   float64
+	nnz   int
+}
+
+// Model is a linear program under construction. Models are not safe for
+// concurrent mutation.
+type Model struct {
+	cols     []column
+	rows     []rowMeta
+	maximize bool
+	objConst float64
+
+	// Options.
+
+	// MaxIters bounds total simplex iterations (both phases). Zero means
+	// a generous default proportional to the problem size.
+	MaxIters int
+
+	// forceRep overrides basis-representation selection in tests:
+	// 0 = by size, 1 = dense, 2 = product-form.
+	forceRep int8
+}
+
+// NewModel returns an empty model.
+func NewModel() *Model { return &Model{} }
+
+// NumVars returns the number of variables created so far.
+func (m *Model) NumVars() int { return len(m.cols) }
+
+// NumRows returns the number of constraints added so far.
+func (m *Model) NumRows() int { return len(m.rows) }
+
+// NewVar creates a variable with the given bounds. Use lp.Inf / -lp.Inf for
+// unbounded directions. The name is used only in diagnostics.
+func (m *Model) NewVar(name string, lo, hi float64) Var {
+	if lo > hi {
+		panic(fmt.Sprintf("lp: variable %q has lo %g > hi %g", name, lo, hi))
+	}
+	m.cols = append(m.cols, column{name: name, lo: lo, hi: hi})
+	return Var(len(m.cols) - 1)
+}
+
+// SetBounds replaces the bounds of an existing variable.
+func (m *Model) SetBounds(v Var, lo, hi float64) {
+	if lo > hi {
+		panic(fmt.Sprintf("lp: SetBounds(%d) lo %g > hi %g", v, lo, hi))
+	}
+	m.cols[v].lo, m.cols[v].hi = lo, hi
+}
+
+// Bounds returns the current bounds of v.
+func (m *Model) Bounds(v Var) (lo, hi float64) { return m.cols[v].lo, m.cols[v].hi }
+
+// VarName returns the diagnostic name of v.
+func (m *Model) VarName(v Var) string { return m.cols[v].name }
+
+// AddConstraint adds expr (sense) rhs. The expression's constant is moved to
+// the right-hand side. Returns the row index for diagnostics.
+func (m *Model) AddConstraint(expr *Expr, sense Sense, rhs float64) int {
+	return m.addConstraintNamed("", expr, sense, rhs)
+}
+
+// AddNamed adds a named constraint; the name appears in diagnostics.
+func (m *Model) AddNamed(name string, expr *Expr, sense Sense, rhs float64) int {
+	return m.addConstraintNamed(name, expr, sense, rhs)
+}
+
+func (m *Model) addConstraintNamed(name string, expr *Expr, sense Sense, rhs float64) int {
+	idx, coef := expr.compact()
+	r := int32(len(m.rows))
+	m.rows = append(m.rows, rowMeta{name: name, sense: sense, rhs: rhs - expr.Constant, nnz: len(idx)})
+	for i, ci := range idx {
+		c := &m.cols[ci]
+		c.rowIdx = append(c.rowIdx, r)
+		c.rowCoef = append(c.rowCoef, coef[i])
+	}
+	return int(r)
+}
+
+// AddLE adds expr ≤ rhs.
+func (m *Model) AddLE(expr *Expr, rhs float64) int { return m.AddConstraint(expr, LE, rhs) }
+
+// AddGE adds expr ≥ rhs.
+func (m *Model) AddGE(expr *Expr, rhs float64) int { return m.AddConstraint(expr, GE, rhs) }
+
+// AddEQ adds expr = rhs.
+func (m *Model) AddEQ(expr *Expr, rhs float64) int { return m.AddConstraint(expr, EQ, rhs) }
+
+// Maximize sets the objective to maximize expr.
+func (m *Model) Maximize(expr *Expr) { m.setObjective(expr, true) }
+
+// Minimize sets the objective to minimize expr.
+func (m *Model) Minimize(expr *Expr) { m.setObjective(expr, false) }
+
+func (m *Model) setObjective(expr *Expr, maximize bool) {
+	for i := range m.cols {
+		m.cols[i].obj = 0
+	}
+	idx, coef := expr.compact()
+	for i, ci := range idx {
+		m.cols[ci].obj = coef[i]
+	}
+	m.objConst = expr.Constant
+	m.maximize = maximize
+}
+
+// Solution holds the result of a successful solve.
+type Solution struct {
+	// Status of the solve; Optimal unless Solve returned an error.
+	Status Status
+	// Objective is the objective value in the user's direction
+	// (including any constant term).
+	Objective float64
+	// X holds a value per variable, indexed by Var.
+	X []float64
+	// Duals holds one dual value (shadow price) per constraint row, in the
+	// user's objective direction: for a maximization, Duals[i] is the rate
+	// at which the optimum grows per unit of extra slack on row i (≥ 0 for
+	// binding ≤ rows, ≤ 0 for binding ≥ rows, 0 for non-binding rows).
+	Duals []float64
+	// Iters is the total number of simplex iterations used.
+	Iters int
+}
+
+// Value returns the solution value of v.
+func (s *Solution) Value(v Var) float64 { return s.X[v] }
+
+// Solve runs presolve then the simplex method. On non-optimal outcomes it
+// returns a Solution carrying the status plus an error wrapping
+// ErrNotOptimal.
+func (m *Model) Solve() (*Solution, error) {
+	pre := runPresolve(m)
+	var sol *Solution
+	switch {
+	case pre.infeasible:
+		sol = &Solution{Status: Infeasible, X: make([]float64, len(m.cols)), Duals: make([]float64, len(m.rows))}
+		for j := range m.cols {
+			if pre.newCol[j] < 0 {
+				sol.X[j] = pre.fixedVal[j]
+			}
+		}
+	case pre.worthApplying(m):
+		inner := solveSimplex(pre.reducedModel(m))
+		sol = pre.expand(m, inner)
+	default:
+		sol = solveSimplex(m)
+	}
+	sol.Objective += m.objConst
+	if sol.Status != Optimal {
+		return sol, fmt.Errorf("%w: %s", ErrNotOptimal, sol.Status)
+	}
+	return sol, nil
+}
+
+// EvalExpr evaluates expr at the solution point.
+func (s *Solution) EvalExpr(e *Expr) float64 {
+	v := e.Constant
+	for _, t := range e.Terms {
+		v += t.Coef * s.X[t.Var]
+	}
+	return v
+}
+
+// Violation returns how far the solution is from satisfying expr (sense)
+// rhs; non-positive values (within tolerance) mean satisfied.
+func (s *Solution) Violation(e *Expr, sense Sense, rhs float64) float64 {
+	v := s.EvalExpr(e)
+	switch sense {
+	case LE:
+		return v - rhs
+	case GE:
+		return rhs - v
+	default:
+		return math.Abs(v - rhs)
+	}
+}

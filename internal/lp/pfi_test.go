@@ -1,0 +1,205 @@
+package lp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// TestPFIAgainstEnumeration re-runs the vertex-enumeration cross-check with
+// the product-form inverse forced on, exercising eta-file FTRAN/BTRAN,
+// reinversion, and basis permutation on small problems.
+func TestPFIAgainstEnumeration(t *testing.T) {
+	rng := rand.New(rand.NewSource(4242))
+	const trials = 300
+	for trial := 0; trial < trials; trial++ {
+		n := 2 + rng.Intn(3)
+		k := 1 + rng.Intn(4)
+		p := &refProblem{n: n, maximize: rng.Intn(2) == 0}
+		for j := 0; j < n; j++ {
+			lo := float64(rng.Intn(7)) - 3
+			hi := lo + float64(rng.Intn(8))
+			p.lo = append(p.lo, lo)
+			p.hi = append(p.hi, hi)
+			p.obj = append(p.obj, float64(rng.Intn(11)-5))
+		}
+		for i := 0; i < k; i++ {
+			row := make([]float64, n)
+			for j := range row {
+				row[j] = float64(rng.Intn(9) - 4)
+			}
+			p.rows = append(p.rows, row)
+			p.sense = append(p.sense, Sense(rng.Intn(3)))
+			p.rhs = append(p.rhs, float64(rng.Intn(21)-10))
+		}
+		want, _, feasible := refSolve(p)
+		m, _ := p.toModel()
+		m.forceRep = 2 // force PFI
+		sol, err := m.Solve()
+		if !feasible {
+			if sol.Status != Infeasible {
+				t.Fatalf("trial %d: reference infeasible, PFI simplex %v", trial, sol.Status)
+			}
+			continue
+		}
+		if err != nil {
+			t.Fatalf("trial %d: reference obj %v but PFI simplex failed: %v", trial, want, err)
+		}
+		if math.Abs(sol.Objective-want) > 1e-5 {
+			t.Fatalf("trial %d: PFI obj %v, reference %v", trial, sol.Objective, want)
+		}
+	}
+}
+
+// TestPFIMatchesDenseOnMediumLPs solves identical medium problems with both
+// representations and requires matching optima.
+func TestPFIMatchesDenseOnMediumLPs(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 12; trial++ {
+		build := func() *Model {
+			r := rand.New(rand.NewSource(int64(1000 + trial)))
+			n, k := 120, 90
+			m := NewModel()
+			vars := make([]Var, n)
+			for j := range vars {
+				vars[j] = m.NewVar("v", 0, 1+r.Float64()*9)
+			}
+			for i := 0; i < k; i++ {
+				e := NewExpr()
+				for c := 0; c < 5; c++ {
+					e.Add(0.2+r.Float64()*2, vars[r.Intn(n)])
+				}
+				if i%4 == 0 {
+					m.AddGE(e, r.Float64()*2)
+				} else {
+					m.AddLE(e, 4+r.Float64()*25)
+				}
+			}
+			obj := NewExpr()
+			for _, v := range vars {
+				obj.Add(r.Float64(), v)
+			}
+			m.Maximize(obj)
+			return m
+		}
+		md := build()
+		md.forceRep = 1
+		sd, err := md.Solve()
+		if err != nil {
+			t.Fatalf("trial %d dense: %v", trial, err)
+		}
+		mp := build()
+		mp.forceRep = 2
+		sp, err := mp.Solve()
+		if err != nil {
+			t.Fatalf("trial %d pfi: %v", trial, err)
+		}
+		if math.Abs(sd.Objective-sp.Objective) > 1e-5*math.Max(1, math.Abs(sd.Objective)) {
+			t.Fatalf("trial %d: dense %v != pfi %v", trial, sd.Objective, sp.Objective)
+		}
+		_ = rng
+	}
+}
+
+// TestPFIDualsMatchDense: shadow prices must agree across representations.
+func TestPFIDualsMatchDense(t *testing.T) {
+	build := func(force int8) (*Solution, []int) {
+		m := NewModel()
+		x := m.NewVar("x", 0, Inf)
+		y := m.NewVar("y", 0, Inf)
+		r1 := m.AddLE(NewExpr().Add(2, x).Add(1, y), 10)
+		r2 := m.AddLE(NewExpr().Add(1, x).Add(2, y), 10)
+		m.Maximize(NewExpr().Add(1, x).Add(1, y))
+		m.forceRep = force
+		sol, err := m.Solve()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return sol, []int{r1, r2}
+	}
+	sd, rows := build(1)
+	sp, _ := build(2)
+	for _, r := range rows {
+		if math.Abs(sd.Duals[r]-sp.Duals[r]) > 1e-6 {
+			t.Fatalf("row %d duals differ: dense %v pfi %v", r, sd.Duals[r], sp.Duals[r])
+		}
+	}
+}
+
+// TestPFIRefactorPath drives enough pivots to force reinversion (the
+// 128-eta trigger) and checks the solution is still exact.
+func TestPFIRefactorPath(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	n, k := 400, 300
+	m := NewModel()
+	vars := make([]Var, n)
+	for j := range vars {
+		vars[j] = m.NewVar("v", 0, 5)
+	}
+	type rowRec struct {
+		e   *Expr
+		rhs float64
+	}
+	var recs []rowRec
+	for i := 0; i < k; i++ {
+		e := NewExpr()
+		for c := 0; c < 4; c++ {
+			e.Add(0.5+r.Float64(), vars[r.Intn(n)])
+		}
+		rhs := 3 + r.Float64()*10
+		m.AddLE(e, rhs)
+		recs = append(recs, rowRec{e, rhs})
+	}
+	obj := NewExpr()
+	for _, v := range vars {
+		obj.Add(0.1+r.Float64(), v)
+	}
+	m.Maximize(obj)
+	m.forceRep = 2
+	sol, err := m.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Iters < 129 {
+		t.Skipf("only %d iterations; refactor path not exercised", sol.Iters)
+	}
+	for i, rec := range recs {
+		if v := sol.Violation(rec.e, LE, rec.rhs); v > 1e-6 {
+			t.Fatalf("row %d violated by %v after refactors", i, v)
+		}
+	}
+}
+
+func benchLargeSparseLP(b *testing.B, force int8) {
+	r := rand.New(rand.NewSource(12))
+	n, k := 900, 700
+	m := NewModel()
+	vars := make([]Var, n)
+	for j := range vars {
+		vars[j] = m.NewVar("v", 0, 5)
+	}
+	for i := 0; i < k; i++ {
+		e := NewExpr()
+		for c := 0; c < 4; c++ {
+			e.Add(0.5+r.Float64(), vars[r.Intn(n)])
+		}
+		m.AddLE(e, 3+r.Float64()*10)
+	}
+	obj := NewExpr()
+	for _, v := range vars {
+		obj.Add(0.1+r.Float64(), v)
+	}
+	m.Maximize(obj)
+	m.forceRep = force
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := m.Solve(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSimplexDenseRep vs BenchmarkSimplexPFIRep quantify the
+// product-form inverse's advantage on a sparse 700-row basis.
+func BenchmarkSimplexDenseRep(b *testing.B) { benchLargeSparseLP(b, 1) }
+func BenchmarkSimplexPFIRep(b *testing.B)   { benchLargeSparseLP(b, 2) }

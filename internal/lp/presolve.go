@@ -1,0 +1,162 @@
+package lp
+
+import "math"
+
+// presolve performs conservative, duals-preserving reductions before the
+// simplex runs:
+//
+//   - fixed variables (lo == hi) are folded into the right-hand sides and
+//     removed from the column set;
+//   - rows left with no variables are checked for trivial feasibility and
+//     dropped (their dual value is exactly 0, so duals stay correct);
+//   - bound contradictions and trivially-infeasible empty rows short-
+//     circuit to Infeasible without touching the simplex.
+//
+// The reductions matter in practice: the FFC harness pins many variables
+// (dead tunnels, zeroed flows, frozen fairness iterations, §5.6-pinned
+// configurations), and folding them shrinks the basis the product-form
+// inverse has to carry.
+type presolved struct {
+	// keep[j] is true when column j survives.
+	keep []bool
+	// fixedVal[j] is the folded value for removed columns.
+	fixedVal []float64
+	// newCol[j] maps an original column to its compacted index (-1 if
+	// removed).
+	newCol []int
+	// origCol maps compacted indices back.
+	origCol []int
+	// rowKeep[i] is true when row i survives; removed rows have dual 0.
+	rowKeep []int // -1 removed, else compacted index
+	origRow []int
+	// rhsAdj[i] is subtracted from row i's rhs.
+	rhsAdj []float64
+	// infeasible marks a trivially infeasible model.
+	infeasible bool
+}
+
+// runPresolve analyzes the model and returns the reduction plan.
+func runPresolve(m *Model) *presolved {
+	nCols, nRows := len(m.cols), len(m.rows)
+	p := &presolved{
+		keep:     make([]bool, nCols),
+		fixedVal: make([]float64, nCols),
+		newCol:   make([]int, nCols),
+		rowKeep:  make([]int, nRows),
+		rhsAdj:   make([]float64, nRows),
+	}
+	liveTerms := make([]int, nRows)
+	for i, r := range m.rows {
+		liveTerms[i] = r.nnz
+	}
+	for j := range m.cols {
+		c := &m.cols[j]
+		if c.lo > c.hi {
+			p.infeasible = true
+			return p
+		}
+		if c.hi-c.lo <= fixedEps {
+			// Fold the fixed value into every row it touches.
+			v := c.lo
+			p.fixedVal[j] = v
+			for k, r := range c.rowIdx {
+				p.rhsAdj[r] += c.rowCoef[k] * v
+				liveTerms[r]--
+			}
+			continue
+		}
+		p.keep[j] = true
+	}
+	// Compact columns.
+	for j := range m.cols {
+		if p.keep[j] {
+			p.newCol[j] = len(p.origCol)
+			p.origCol = append(p.origCol, j)
+		} else {
+			p.newCol[j] = -1
+		}
+	}
+	// Row disposition.
+	for i := range m.rows {
+		rhs := m.rows[i].rhs - p.rhsAdj[i]
+		if liveTerms[i] <= 0 {
+			// Vacuous row: constant (sense) rhs.
+			ok := true
+			switch m.rows[i].sense {
+			case LE:
+				ok = rhs >= -feasTol
+			case GE:
+				ok = rhs <= feasTol
+			case EQ:
+				ok = math.Abs(rhs) <= feasTol
+			}
+			if !ok {
+				p.infeasible = true
+				return p
+			}
+			p.rowKeep[i] = -1
+			continue
+		}
+		p.rowKeep[i] = len(p.origRow)
+		p.origRow = append(p.origRow, i)
+	}
+	return p
+}
+
+// worthApplying reports whether the reductions shrink anything.
+func (p *presolved) worthApplying(m *Model) bool {
+	return len(p.origCol) < len(m.cols) || len(p.origRow) < len(m.rows)
+}
+
+// reducedModel materializes the smaller model.
+func (p *presolved) reducedModel(m *Model) *Model {
+	rm := &Model{maximize: m.maximize, MaxIters: m.MaxIters, forceRep: m.forceRep}
+	rm.cols = make([]column, len(p.origCol))
+	for nj, j := range p.origCol {
+		src := &m.cols[j]
+		dst := &rm.cols[nj]
+		dst.name = src.name
+		dst.lo, dst.hi, dst.obj = src.lo, src.hi, src.obj
+		for k, r := range src.rowIdx {
+			if nr := p.rowKeep[r]; nr >= 0 {
+				dst.rowIdx = append(dst.rowIdx, int32(nr))
+				dst.rowCoef = append(dst.rowCoef, src.rowCoef[k])
+			}
+		}
+	}
+	rm.rows = make([]rowMeta, len(p.origRow))
+	for ni, i := range p.origRow {
+		rm.rows[ni] = rowMeta{
+			name:  m.rows[i].name,
+			sense: m.rows[i].sense,
+			rhs:   m.rows[i].rhs - p.rhsAdj[i],
+		}
+	}
+	return rm
+}
+
+// expand maps a reduced-model solution back to the original index spaces.
+func (p *presolved) expand(m *Model, sol *Solution) *Solution {
+	out := &Solution{
+		Status: sol.Status,
+		Iters:  sol.Iters,
+		X:      make([]float64, len(m.cols)),
+		Duals:  make([]float64, len(m.rows)),
+	}
+	for j := range m.cols {
+		if nj := p.newCol[j]; nj >= 0 {
+			out.X[j] = sol.X[nj]
+		} else {
+			out.X[j] = p.fixedVal[j]
+		}
+	}
+	if sol.Duals != nil {
+		for i := range m.rows {
+			if ni := p.rowKeep[i]; ni >= 0 {
+				out.Duals[i] = sol.Duals[ni]
+			}
+		}
+	}
+	out.Objective = objValue(m, out.X)
+	return out
+}

@@ -1,0 +1,445 @@
+package lp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func requireOptimal(t *testing.T, sol *Solution, err error) {
+	t.Helper()
+	if err != nil {
+		t.Fatalf("Solve: %v (status %v)", err, sol.Status)
+	}
+}
+
+func almost(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestSimpleMaximize(t *testing.T) {
+	// max x+y s.t. x+2y ≤ 14, 3x−y ≥ 0, x−y ≤ 2 → (6,4), obj 10.
+	m := NewModel()
+	x := m.NewVar("x", 0, Inf)
+	y := m.NewVar("y", 0, Inf)
+	m.AddLE(NewExpr().Add(1, x).Add(2, y), 14)
+	m.AddGE(NewExpr().Add(3, x).Add(-1, y), 0)
+	m.AddLE(NewExpr().Add(1, x).Add(-1, y), 2)
+	m.Maximize(NewExpr().Add(1, x).Add(1, y))
+	sol, err := m.Solve()
+	requireOptimal(t, sol, err)
+	if !almost(sol.Objective, 10, 1e-6) {
+		t.Fatalf("objective = %v, want 10", sol.Objective)
+	}
+	if !almost(sol.Value(x), 6, 1e-6) || !almost(sol.Value(y), 4, 1e-6) {
+		t.Fatalf("x,y = %v,%v want 6,4", sol.Value(x), sol.Value(y))
+	}
+}
+
+func TestMinimize(t *testing.T) {
+	// min 2x+3y s.t. x+y ≥ 10, x ≥ 2, y ≥ 3 → x=7,y=3, obj 23.
+	m := NewModel()
+	x := m.NewVar("x", 2, Inf)
+	y := m.NewVar("y", 3, Inf)
+	m.AddGE(NewExpr().Add(1, x).Add(1, y), 10)
+	m.Minimize(NewExpr().Add(2, x).Add(3, y))
+	sol, err := m.Solve()
+	requireOptimal(t, sol, err)
+	if !almost(sol.Objective, 23, 1e-6) {
+		t.Fatalf("objective = %v, want 23", sol.Objective)
+	}
+}
+
+func TestEquality(t *testing.T) {
+	// max x s.t. x + y = 5, y ≥ 2 → x = 3.
+	m := NewModel()
+	x := m.NewVar("x", 0, Inf)
+	y := m.NewVar("y", 2, Inf)
+	m.AddEQ(NewExpr().Add(1, x).Add(1, y), 5)
+	m.Maximize(NewExpr().Add(1, x))
+	sol, err := m.Solve()
+	requireOptimal(t, sol, err)
+	if !almost(sol.Value(x), 3, 1e-6) {
+		t.Fatalf("x = %v, want 3", sol.Value(x))
+	}
+}
+
+func TestInfeasible(t *testing.T) {
+	m := NewModel()
+	x := m.NewVar("x", 0, 1)
+	m.AddGE(NewExpr().Add(1, x), 2)
+	m.Maximize(NewExpr().Add(1, x))
+	sol, err := m.Solve()
+	if err == nil || sol.Status != Infeasible {
+		t.Fatalf("status = %v, err = %v; want infeasible", sol.Status, err)
+	}
+}
+
+func TestInfeasibleEqualitySystem(t *testing.T) {
+	m := NewModel()
+	x := m.NewVar("x", 0, Inf)
+	y := m.NewVar("y", 0, Inf)
+	m.AddEQ(NewExpr().Add(1, x).Add(1, y), 5)
+	m.AddEQ(NewExpr().Add(1, x).Add(1, y), 7)
+	m.Minimize(NewExpr().Add(1, x))
+	sol, _ := m.Solve()
+	if sol.Status != Infeasible {
+		t.Fatalf("status = %v, want infeasible", sol.Status)
+	}
+}
+
+func TestUnbounded(t *testing.T) {
+	m := NewModel()
+	x := m.NewVar("x", 0, Inf)
+	y := m.NewVar("y", 0, Inf)
+	m.AddGE(NewExpr().Add(1, x).Add(-1, y), 1)
+	m.Maximize(NewExpr().Add(1, x))
+	sol, _ := m.Solve()
+	if sol.Status != Unbounded {
+		t.Fatalf("status = %v, want unbounded", sol.Status)
+	}
+}
+
+func TestBoundedObjectiveViaVariableBounds(t *testing.T) {
+	// No rows at all besides one trivial constraint; optimum at upper bounds.
+	m := NewModel()
+	x := m.NewVar("x", 0, 7)
+	y := m.NewVar("y", -2, 3)
+	m.AddLE(NewExpr().Add(1, x).Add(1, y), 100)
+	m.Maximize(NewExpr().Add(2, x).Add(1, y))
+	sol, err := m.Solve()
+	requireOptimal(t, sol, err)
+	if !almost(sol.Objective, 17, 1e-6) {
+		t.Fatalf("objective = %v, want 17", sol.Objective)
+	}
+}
+
+func TestFreeVariable(t *testing.T) {
+	// min x+y with y free, x ≥ 0, x − y ≥ 3, y ≥ −5 (row) → y=−5, x=0? no:
+	// x ≥ y+3 ≥ −2 → x ≥ 0 binds; min at y=−5, x=0 gives x−y=5 ≥ 3 ok, obj −5.
+	m := NewModel()
+	x := m.NewVar("x", 0, Inf)
+	y := m.NewVar("y", math.Inf(-1), Inf)
+	m.AddGE(NewExpr().Add(1, x).Add(-1, y), 3)
+	m.AddGE(NewExpr().Add(1, y), -5)
+	m.Minimize(NewExpr().Add(1, x).Add(1, y))
+	sol, err := m.Solve()
+	requireOptimal(t, sol, err)
+	if !almost(sol.Objective, -5, 1e-6) {
+		t.Fatalf("objective = %v, want -5", sol.Objective)
+	}
+}
+
+func TestNegativeLowerBounds(t *testing.T) {
+	// max x+y, x ∈ [−4,−1], y ∈ [−3, 10], x + y ≤ 0 → x=−1, y=1, obj 0.
+	m := NewModel()
+	x := m.NewVar("x", -4, -1)
+	y := m.NewVar("y", -3, 10)
+	m.AddLE(NewExpr().Add(1, x).Add(1, y), 0)
+	m.Maximize(NewExpr().Add(1, x).Add(1, y))
+	sol, err := m.Solve()
+	requireOptimal(t, sol, err)
+	if !almost(sol.Objective, 0, 1e-6) {
+		t.Fatalf("objective = %v, want 0", sol.Objective)
+	}
+}
+
+func TestFixedVariables(t *testing.T) {
+	m := NewModel()
+	x := m.NewVar("x", 5, 5)
+	y := m.NewVar("y", 0, Inf)
+	m.AddLE(NewExpr().Add(1, x).Add(1, y), 8)
+	m.Maximize(NewExpr().Add(1, y))
+	sol, err := m.Solve()
+	requireOptimal(t, sol, err)
+	if !almost(sol.Value(x), 5, 1e-9) || !almost(sol.Value(y), 3, 1e-6) {
+		t.Fatalf("x,y = %v,%v want 5,3", sol.Value(x), sol.Value(y))
+	}
+}
+
+func TestFixedVariableForcesPhase1(t *testing.T) {
+	// bf fixed at 4 while coverage Σa ≥ bf starts violated at a=0; this is
+	// the shape of frozen flows in max-min fairness iterations.
+	m := NewModel()
+	b := m.NewVar("b", 4, 4)
+	a1 := m.NewVar("a1", 0, Inf)
+	a2 := m.NewVar("a2", 0, Inf)
+	m.AddGE(NewExpr().Add(1, a1).Add(1, a2).Add(-1, b), 0)
+	m.AddLE(NewExpr().Add(1, a1), 3)
+	m.AddLE(NewExpr().Add(1, a2), 3)
+	m.Minimize(NewExpr().Add(1, a1).Add(1, a2))
+	sol, err := m.Solve()
+	requireOptimal(t, sol, err)
+	if !almost(sol.Objective, 4, 1e-6) {
+		t.Fatalf("objective = %v, want 4", sol.Objective)
+	}
+}
+
+func TestDegenerateLP(t *testing.T) {
+	// Classic degenerate vertex: several constraints meet at the optimum.
+	m := NewModel()
+	x := m.NewVar("x", 0, Inf)
+	y := m.NewVar("y", 0, Inf)
+	m.AddLE(NewExpr().Add(1, x), 1)
+	m.AddLE(NewExpr().Add(1, y), 1)
+	m.AddLE(NewExpr().Add(1, x).Add(1, y), 2)
+	m.AddLE(NewExpr().Add(2, x).Add(1, y), 3)
+	m.Maximize(NewExpr().Add(1, x).Add(1, y))
+	sol, err := m.Solve()
+	requireOptimal(t, sol, err)
+	if !almost(sol.Objective, 2, 1e-6) {
+		t.Fatalf("objective = %v, want 2", sol.Objective)
+	}
+}
+
+func TestConstantInExprAndObjective(t *testing.T) {
+	m := NewModel()
+	x := m.NewVar("x", 0, 10)
+	// x + 5 ≤ 8  →  x ≤ 3
+	m.AddLE(NewExpr().Add(1, x).AddConst(5), 8)
+	m.Maximize(NewExpr().Add(2, x).AddConst(100))
+	sol, err := m.Solve()
+	requireOptimal(t, sol, err)
+	if !almost(sol.Objective, 106, 1e-6) {
+		t.Fatalf("objective = %v, want 106", sol.Objective)
+	}
+}
+
+func TestDuplicateTermsMerge(t *testing.T) {
+	m := NewModel()
+	x := m.NewVar("x", 0, Inf)
+	// x + x ≤ 6 → x ≤ 3
+	m.AddLE(NewExpr().Add(1, x).Add(1, x), 6)
+	m.Maximize(NewExpr().Add(1, x).Add(2, x)) // 3x
+	sol, err := m.Solve()
+	requireOptimal(t, sol, err)
+	if !almost(sol.Objective, 9, 1e-6) {
+		t.Fatalf("objective = %v, want 9", sol.Objective)
+	}
+}
+
+func TestEmptyObjective(t *testing.T) {
+	m := NewModel()
+	x := m.NewVar("x", 0, 3)
+	m.AddGE(NewExpr().Add(1, x), 1)
+	m.Maximize(NewExpr())
+	sol, err := m.Solve()
+	requireOptimal(t, sol, err)
+	if sol.Value(x) < 1-1e-7 || sol.Value(x) > 3+1e-7 {
+		t.Fatalf("x = %v outside [1,3]", sol.Value(x))
+	}
+}
+
+func TestEmptyRowFeasible(t *testing.T) {
+	m := NewModel()
+	x := m.NewVar("x", 0, 1)
+	m.AddLE(NewExpr(), 5) // 0 ≤ 5, trivially true
+	m.Maximize(NewExpr().Add(1, x))
+	sol, err := m.Solve()
+	requireOptimal(t, sol, err)
+	if !almost(sol.Objective, 1, 1e-6) {
+		t.Fatalf("objective = %v, want 1", sol.Objective)
+	}
+}
+
+func TestEmptyRowInfeasible(t *testing.T) {
+	m := NewModel()
+	_ = m.NewVar("x", 0, 1)
+	m.AddGE(NewExpr(), 5) // 0 ≥ 5, false
+	m.Maximize(NewExpr())
+	sol, _ := m.Solve()
+	if sol.Status != Infeasible {
+		t.Fatalf("status = %v, want infeasible", sol.Status)
+	}
+}
+
+func TestMultiCommodityFlowShape(t *testing.T) {
+	// Two flows share a bottleneck: max b1+b2, b1 ≤ 7, b2 ≤ 9,
+	// tunnel split: a11+a12 ≥ b1, a21 ≥ b2; link caps:
+	// a11+a21 ≤ 10, a12 ≤ 4. Optimum: b2=9 ... shared link a11 ≤ 1,
+	// b1 ≤ 1+4=5 → total 14.
+	m := NewModel()
+	b1 := m.NewVar("b1", 0, 7)
+	b2 := m.NewVar("b2", 0, 9)
+	a11 := m.NewVar("a11", 0, Inf)
+	a12 := m.NewVar("a12", 0, Inf)
+	a21 := m.NewVar("a21", 0, Inf)
+	m.AddGE(NewExpr().Add(1, a11).Add(1, a12).Add(-1, b1), 0)
+	m.AddGE(NewExpr().Add(1, a21).Add(-1, b2), 0)
+	m.AddLE(NewExpr().Add(1, a11).Add(1, a21), 10)
+	m.AddLE(NewExpr().Add(1, a12), 4)
+	m.Maximize(NewExpr().Add(1, b1).Add(1, b2))
+	sol, err := m.Solve()
+	requireOptimal(t, sol, err)
+	if !almost(sol.Objective, 14, 1e-6) {
+		t.Fatalf("objective = %v, want 14", sol.Objective)
+	}
+}
+
+// TestRandomAgainstEnumeration cross-checks the simplex against brute-force
+// vertex enumeration on random small LPs with finite bounds.
+func TestRandomAgainstEnumeration(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	const trials = 400
+	agreeInfeasible, agreeOptimal := 0, 0
+	for trial := 0; trial < trials; trial++ {
+		n := 2 + rng.Intn(3) // 2..4 variables
+		k := 1 + rng.Intn(4) // 1..4 rows
+		p := &refProblem{n: n, maximize: rng.Intn(2) == 0}
+		for j := 0; j < n; j++ {
+			lo := float64(rng.Intn(7)) - 3
+			hi := lo + float64(rng.Intn(8))
+			p.lo = append(p.lo, lo)
+			p.hi = append(p.hi, hi)
+			p.obj = append(p.obj, float64(rng.Intn(11)-5))
+		}
+		for i := 0; i < k; i++ {
+			row := make([]float64, n)
+			for j := range row {
+				row[j] = float64(rng.Intn(9) - 4)
+			}
+			p.rows = append(p.rows, row)
+			p.sense = append(p.sense, Sense(rng.Intn(3)))
+			p.rhs = append(p.rhs, float64(rng.Intn(21)-10))
+		}
+		want, _, feasible := refSolve(p)
+		m, _ := p.toModel()
+		sol, err := m.Solve()
+		if !feasible {
+			if sol.Status != Infeasible {
+				t.Fatalf("trial %d: reference infeasible, simplex %v (obj %v)", trial, sol.Status, sol.Objective)
+			}
+			agreeInfeasible++
+			continue
+		}
+		if err != nil {
+			t.Fatalf("trial %d: reference obj %v but simplex failed: %v", trial, want, err)
+		}
+		if !almost(sol.Objective, want, 1e-5) {
+			t.Fatalf("trial %d: simplex obj %v, reference %v", trial, sol.Objective, want)
+		}
+		// The returned point must itself be feasible.
+		for i, row := range p.rows {
+			e := NewExpr()
+			for j, c := range row {
+				e.Add(c, Var(j))
+			}
+			if v := sol.Violation(e, p.sense[i], p.rhs[i]); v > 1e-6 {
+				t.Fatalf("trial %d: row %d violated by %v", trial, i, v)
+			}
+		}
+		agreeOptimal++
+	}
+	if agreeOptimal < trials/4 {
+		t.Fatalf("only %d/%d trials were feasible; generator is degenerate", agreeOptimal, trials)
+	}
+}
+
+// TestLargerRandomFeasibility stresses the solver on bigger random LPs where
+// we can't enumerate, verifying returned points satisfy all constraints and
+// that objective is at least as good as a greedy feasible point.
+func TestLargerRandomFeasibility(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 20; trial++ {
+		n, k := 30, 40
+		m := NewModel()
+		vars := make([]Var, n)
+		for j := range vars {
+			vars[j] = m.NewVar("v", 0, 1+rng.Float64()*9)
+		}
+		type rowT struct {
+			e     *Expr
+			sense Sense
+			rhs   float64
+		}
+		var rowsT []rowT
+		for i := 0; i < k; i++ {
+			e := NewExpr()
+			for c := 0; c < 5; c++ {
+				e.Add(rng.Float64()*4, vars[rng.Intn(n)])
+			}
+			rhs := 5 + rng.Float64()*20
+			m.AddLE(e, rhs)
+			rowsT = append(rowsT, rowT{e, LE, rhs})
+		}
+		obj := NewExpr()
+		for _, v := range vars {
+			obj.Add(rng.Float64(), v)
+		}
+		m.Maximize(obj)
+		sol, err := m.Solve()
+		requireOptimal(t, sol, err)
+		for i, r := range rowsT {
+			if v := sol.Violation(r.e, r.sense, r.rhs); v > 1e-6 {
+				t.Fatalf("trial %d row %d violated by %v", trial, i, v)
+			}
+		}
+		if sol.Objective < 0 {
+			t.Fatalf("trial %d: negative objective %v for nonnegative costs", trial, sol.Objective)
+		}
+	}
+}
+
+func TestSetBoundsReSolve(t *testing.T) {
+	m := NewModel()
+	x := m.NewVar("x", 0, 5)
+	m.AddLE(NewExpr().Add(1, x), 100)
+	m.Maximize(NewExpr().Add(1, x))
+	sol, err := m.Solve()
+	requireOptimal(t, sol, err)
+	if !almost(sol.Objective, 5, 1e-9) {
+		t.Fatalf("objective = %v, want 5", sol.Objective)
+	}
+	m.SetBounds(x, 0, 2)
+	sol, err = m.Solve()
+	requireOptimal(t, sol, err)
+	if !almost(sol.Objective, 2, 1e-9) {
+		t.Fatalf("objective = %v, want 2 after SetBounds", sol.Objective)
+	}
+}
+
+func TestSolutionHelpers(t *testing.T) {
+	m := NewModel()
+	x := m.NewVar("x", 0, 4)
+	m.AddLE(NewExpr().Add(1, x), 3)
+	m.Maximize(NewExpr().Add(1, x))
+	sol, err := m.Solve()
+	requireOptimal(t, sol, err)
+	e := NewExpr().Add(2, x).AddConst(1)
+	if !almost(sol.EvalExpr(e), 7, 1e-9) {
+		t.Fatalf("EvalExpr = %v, want 7", sol.EvalExpr(e))
+	}
+	if v := sol.Violation(e, LE, 7); v > 1e-9 {
+		t.Fatalf("Violation = %v, want ≤ 0", v)
+	}
+}
+
+func BenchmarkSimplexMediumLP(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	build := func() *Model {
+		n, k := 200, 150
+		m := NewModel()
+		vars := make([]Var, n)
+		for j := range vars {
+			vars[j] = m.NewVar("v", 0, 10)
+		}
+		for i := 0; i < k; i++ {
+			e := NewExpr()
+			for c := 0; c < 6; c++ {
+				e.Add(0.5+rng.Float64(), vars[rng.Intn(n)])
+			}
+			m.AddLE(e, 10+rng.Float64()*30)
+		}
+		obj := NewExpr()
+		for _, v := range vars {
+			obj.Add(rng.Float64(), v)
+		}
+		m.Maximize(obj)
+		return m
+	}
+	model := build()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := model.Solve(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

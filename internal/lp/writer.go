@@ -1,0 +1,141 @@
+package lp
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// WriteLP emits the model in CPLEX LP file format, so models can be
+// inspected or cross-checked against external solvers. Variable names are
+// sanitized to x<i> with the original names in comments; constraints use
+// their AddNamed labels when present.
+func (m *Model) WriteLP(w io.Writer) error {
+	bw := &errWriter{w: w}
+	bw.printf("\\ %d variables, %d constraints\n", len(m.cols), len(m.rows))
+	for i, c := range m.cols {
+		if c.name != "" {
+			bw.printf("\\ x%d = %s\n", i, sanitizeComment(c.name))
+		}
+	}
+	if m.maximize {
+		bw.printf("Maximize\n obj:")
+	} else {
+		bw.printf("Minimize\n obj:")
+	}
+	first := true
+	for i, c := range m.cols {
+		if c.obj == 0 {
+			continue
+		}
+		bw.printf(" %s x%d", signed(c.obj, first), i)
+		first = false
+	}
+	if first {
+		bw.printf(" 0 x0")
+	}
+	bw.printf("\nSubject To\n")
+
+	// Rebuild rows from the column-major storage.
+	type term struct {
+		v    int
+		coef float64
+	}
+	rows := make([][]term, len(m.rows))
+	for j := range m.cols {
+		c := &m.cols[j]
+		for k, r := range c.rowIdx {
+			rows[r] = append(rows[r], term{j, c.rowCoef[k]})
+		}
+	}
+	for i, meta := range m.rows {
+		label := meta.name
+		if label == "" {
+			label = fmt.Sprintf("c%d", i)
+		}
+		bw.printf(" %s:", sanitizeName(label))
+		if len(rows[i]) == 0 {
+			bw.printf(" 0 x0")
+		}
+		for k, t := range rows[i] {
+			bw.printf(" %s x%d", signed(t.coef, k == 0), t.v)
+		}
+		switch meta.sense {
+		case LE:
+			bw.printf(" <= %g\n", meta.rhs)
+		case GE:
+			bw.printf(" >= %g\n", meta.rhs)
+		case EQ:
+			bw.printf(" = %g\n", meta.rhs)
+		}
+	}
+
+	bw.printf("Bounds\n")
+	for i, c := range m.cols {
+		switch {
+		case c.lo == 0 && math.IsInf(c.hi, 1):
+			// default bound; omit
+		case math.IsInf(c.lo, -1) && math.IsInf(c.hi, 1):
+			bw.printf(" x%d free\n", i)
+		case math.IsInf(c.hi, 1):
+			bw.printf(" x%d >= %g\n", i, c.lo)
+		case math.IsInf(c.lo, -1):
+			bw.printf(" x%d <= %g\n", i, c.hi)
+		case c.lo == c.hi:
+			bw.printf(" x%d = %g\n", i, c.lo)
+		default:
+			bw.printf(" %g <= x%d <= %g\n", c.lo, i, c.hi)
+		}
+	}
+	bw.printf("End\n")
+	return bw.err
+}
+
+func signed(v float64, first bool) string {
+	if first {
+		return fmt.Sprintf("%g", v)
+	}
+	if v < 0 {
+		return fmt.Sprintf("- %g", -v)
+	}
+	return fmt.Sprintf("+ %g", v)
+}
+
+func sanitizeName(s string) string {
+	var b strings.Builder
+	for _, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9',
+			r == '_', r == '.':
+			b.WriteRune(r)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	if b.Len() == 0 {
+		return "c"
+	}
+	return b.String()
+}
+
+func sanitizeComment(s string) string {
+	return strings.Map(func(r rune) rune {
+		if r == '\n' || r == '\r' {
+			return ' '
+		}
+		return r
+	}, s)
+}
+
+type errWriter struct {
+	w   io.Writer
+	err error
+}
+
+func (e *errWriter) printf(format string, args ...interface{}) {
+	if e.err != nil {
+		return
+	}
+	_, e.err = fmt.Fprintf(e.w, format, args...)
+}

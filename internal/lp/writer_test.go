@@ -1,0 +1,78 @@
+package lp
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestWriteLPFormat(t *testing.T) {
+	m := NewModel()
+	x := m.NewVar("rate[a→b]", 0, 10)
+	y := m.NewVar("free var", math.Inf(-1), Inf)
+	z := m.NewVar("fixed", 5, 5)
+	m.AddNamed("cap[e1]", NewExpr().Add(1, x).Add(-2, y), LE, 7)
+	m.AddGE(NewExpr().Add(1, y).Add(1, z), 1)
+	m.AddEQ(NewExpr().Add(3, x), 6)
+	m.Maximize(NewExpr().Add(1, x).Add(-0.5, y))
+
+	var sb strings.Builder
+	if err := m.WriteLP(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"Maximize",
+		"cap_e1_: 1 x0 - 2 x1 <= 7",
+		"c1: 1 x1 + 1 x2 >= 1",
+		"c2: 3 x0 = 6",
+		"Bounds",
+		"0 <= x0 <= 10",
+		"x1 free",
+		"x2 = 5",
+		"End",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in LP output:\n%s", want, out)
+		}
+	}
+}
+
+func TestWriteLPMinimizeEmptyRow(t *testing.T) {
+	m := NewModel()
+	_ = m.NewVar("x", 0, Inf)
+	m.AddLE(NewExpr(), 5)
+	m.Minimize(NewExpr())
+	var sb strings.Builder
+	if err := m.WriteLP(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "Minimize") || !strings.Contains(sb.String(), "0 x0 <= 5") {
+		t.Fatalf("bad output:\n%s", sb.String())
+	}
+}
+
+func TestIterLimitStatus(t *testing.T) {
+	// A model that needs more than one iteration, capped at 1.
+	m := NewModel()
+	vars := make([]Var, 20)
+	for i := range vars {
+		vars[i] = m.NewVar("v", 0, 1)
+	}
+	e := NewExpr()
+	obj := NewExpr()
+	for _, v := range vars {
+		e.Add(1, v)
+		obj.Add(1, v)
+	}
+	m.AddGE(e, 10) // forces Phase I work
+	m.Maximize(obj)
+	m.MaxIters = 1
+	sol, err := m.Solve()
+	if err == nil {
+		t.Fatal("expected iteration-limit error")
+	}
+	if sol.Status != IterLimit {
+		t.Fatalf("status %v, want iteration-limit", sol.Status)
+	}
+}

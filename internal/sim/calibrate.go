@@ -1,0 +1,104 @@
+package sim
+
+import (
+	"fmt"
+
+	"ffc/internal/core"
+	"ffc/internal/demand"
+	"ffc/internal/tunnel"
+)
+
+// CalibrateScale finds the global demand multiplier at which plain TE
+// satisfies the target fraction (the paper's 0.99) of offered demand — the
+// definition of traffic scale 1.0 in §8.1. It bisects over the multiplier
+// using up to sample intervals of the series.
+func CalibrateScale(solver *core.Solver, series demand.Series, target float64, samples int) (float64, error) {
+	if target <= 0 || target >= 1 {
+		target = 0.99
+	}
+	if samples <= 0 || samples > len(series) {
+		samples = len(series)
+	}
+	if samples > 5 {
+		samples = 5
+	}
+	stride := len(series) / samples
+	if stride == 0 {
+		stride = 1
+	}
+	var sample []demand.Matrix
+	for i := 0; i < len(series) && len(sample) < samples; i += stride {
+		sample = append(sample, series[i])
+	}
+
+	satisfied := func(scale float64) (float64, error) {
+		var granted, offered float64
+		for _, m := range sample {
+			scaled := m.Scale(scale)
+			st, _, err := solver.Solve(core.Input{Demands: scaled})
+			if err != nil {
+				return 0, err
+			}
+			granted += st.TotalRate()
+			offered += scaled.Total()
+		}
+		if offered == 0 {
+			return 1, nil
+		}
+		return granted / offered, nil
+	}
+
+	// Bracket: find hi with satisfaction below target.
+	lo, hi := 0.0, 1.0
+	for iter := 0; ; iter++ {
+		s, err := satisfied(hi)
+		if err != nil {
+			return 0, err
+		}
+		if s < target {
+			break
+		}
+		lo = hi
+		hi *= 2
+		if iter > 40 {
+			return 0, fmt.Errorf("sim: calibration failed to bracket (satisfaction stays ≥ %v)", target)
+		}
+	}
+	for iter := 0; iter < 20; iter++ {
+		mid := (lo + hi) / 2
+		s, err := satisfied(mid)
+		if err != nil {
+			return 0, err
+		}
+		if s >= target {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return (lo + hi) / 2, nil
+}
+
+// FlowsOf lists the flows appearing anywhere in the series.
+func FlowsOf(series demand.Series) []tunnel.Flow {
+	seen := map[tunnel.Flow]bool{}
+	var out []tunnel.Flow
+	for _, m := range series {
+		for _, f := range m.Flows() {
+			if !seen[f] {
+				seen[f] = true
+				out = append(out, f)
+			}
+		}
+	}
+	return out
+}
+
+// ScaleSeries multiplies every interval by k.
+func ScaleSeries(series demand.Series, k float64) demand.Series {
+	out := make(demand.Series, len(series))
+	for i, m := range series {
+		out[i] = m.Scale(k)
+	}
+	return out
+}

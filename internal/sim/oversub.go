@@ -1,0 +1,179 @@
+package sim
+
+import (
+	"math/rand"
+
+	"ffc/internal/core"
+	"ffc/internal/metrics"
+	"ffc/internal/topology"
+	"ffc/internal/tunnel"
+)
+
+// OversubDataFaults reproduces Figure 1(a): for each interval, compute a TE
+// state (plain TE by default; pass prot for an FFC variant), fail nLinks
+// random physical links (or one switch when failSwitch is set), rescale,
+// and record the maximum link oversubscription percentage.
+func OversubDataFaults(sc Scenario, prot core.Protection, nLinks int, failSwitch bool) (*metrics.Dist, error) {
+	rng := rand.New(rand.NewSource(sc.Seed))
+	solver := core.NewSolver(sc.Net, sc.Tun, core.Options{})
+	var dist metrics.Dist
+	prev := core.NewState()
+	phys := physicalLinkIDs(sc.Net)
+	for _, m := range sc.Series {
+		in := core.Input{Demands: m, Prot: prot}
+		if prot.Kc > 0 {
+			in.Prev = prev
+		}
+		st, _, err := solver.Solve(in)
+		if err != nil {
+			return nil, err
+		}
+		prev = st
+
+		down := map[topology.LinkID]bool{}
+		downSw := map[topology.SwitchID]bool{}
+		if failSwitch {
+			downSw[topology.SwitchID(rng.Intn(sc.Net.NumSwitches()))] = true
+		} else {
+			for _, i := range rng.Perm(len(phys))[:min(nLinks, len(phys))] {
+				down[phys[i]] = true
+				if tw := sc.Net.Links[phys[i]].Twin; tw != topology.None {
+					down[tw] = true
+				}
+			}
+		}
+		dist.Add(maxOversubPct(sc.Net, sc.Tun, st, down, downSw))
+	}
+	return &dist, nil
+}
+
+// OversubControlFaults reproduces Figure 1(b): simulate a network update
+// every interval and make nStale random ingress switches keep the previous
+// interval's configuration; record the maximum link oversubscription.
+func OversubControlFaults(sc Scenario, prot core.Protection, nStale int) (*metrics.Dist, error) {
+	rng := rand.New(rand.NewSource(sc.Seed))
+	solver := core.NewSolver(sc.Net, sc.Tun, core.Options{})
+	var dist metrics.Dist
+	prev := core.NewState()
+	srcs := ingressSwitches(sc.Tun)
+	for t, m := range sc.Series {
+		in := core.Input{Demands: m, Prot: prot}
+		if prot.Kc > 0 {
+			in.Prev = prev
+		}
+		st, _, err := solver.Solve(in)
+		if err != nil {
+			return nil, err
+		}
+		if t == 0 {
+			prev = st
+			continue // no previous configuration to be stale on
+		}
+		stale := map[topology.SwitchID]bool{}
+		for _, i := range rng.Perm(len(srcs))[:min(nStale, len(srcs))] {
+			stale[srcs[i]] = true
+		}
+		dist.Add(maxOversubStalePct(sc.Net, sc.Tun, st, prev, stale))
+		prev = st
+	}
+	return &dist, nil
+}
+
+func physicalLinkIDs(net *topology.Network) []topology.LinkID {
+	var out []topology.LinkID
+	for _, l := range net.Links {
+		if l.Twin == topology.None || l.ID < l.Twin {
+			out = append(out, l.ID)
+		}
+	}
+	return out
+}
+
+func ingressSwitches(tun *tunnel.Set) []topology.SwitchID {
+	seen := map[topology.SwitchID]bool{}
+	var out []topology.SwitchID
+	for _, f := range tun.All() {
+		if !seen[f.Src] {
+			seen[f.Src] = true
+			out = append(out, f.Src)
+		}
+	}
+	return out
+}
+
+// maxOversubPct rescales every flow around the fault sets and returns the
+// worst (load−cap)/cap×100 over surviving links (0 when none overloads).
+func maxOversubPct(net *topology.Network, tun *tunnel.Set, st *core.State,
+	down map[topology.LinkID]bool, downSw map[topology.SwitchID]bool) float64 {
+
+	loads := map[topology.LinkID]float64{}
+	for _, f := range tun.All() {
+		rate := st.Rate[f]
+		if rate == 0 || downSw[f.Src] || downSw[f.Dst] {
+			continue
+		}
+		tl := tun.Rescale(f, st.Weights(f), rate, down, downSw)
+		for _, t := range tun.Tunnels(f) {
+			if tl[t.Index] == 0 {
+				continue
+			}
+			for _, l := range t.Links {
+				loads[l] += tl[t.Index]
+			}
+		}
+	}
+	worst := 0.0
+	for l, load := range loads {
+		if down[l] {
+			continue
+		}
+		if over := (load - net.Links[l].Capacity) / net.Links[l].Capacity * 100; over > worst {
+			worst = over
+		}
+	}
+	return worst
+}
+
+// maxOversubStalePct computes the worst oversubscription when the switches
+// in stale keep oldSt's splitting weights while rate limiters carry newSt's
+// rates (the §2.2 situation).
+func maxOversubStalePct(net *topology.Network, tun *tunnel.Set, newSt, oldSt *core.State,
+	stale map[topology.SwitchID]bool) float64 {
+
+	loads := map[topology.LinkID]float64{}
+	for _, f := range tun.All() {
+		rate := newSt.Rate[f]
+		if rate == 0 {
+			continue
+		}
+		w := newSt.Weights(f)
+		if stale[f.Src] {
+			if pa, ok := oldSt.Alloc[f]; ok && sum(pa) > 0 {
+				w = tunnel.Weights(pa)
+			}
+		}
+		for _, t := range tun.Tunnels(f) {
+			if t.Index >= len(w) || w[t.Index] == 0 {
+				continue
+			}
+			share := rate * w[t.Index]
+			for _, l := range t.Links {
+				loads[l] += share
+			}
+		}
+	}
+	worst := 0.0
+	for l, load := range loads {
+		if over := (load - net.Links[l].Capacity) / net.Links[l].Capacity * 100; over > worst {
+			worst = over
+		}
+	}
+	return worst
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

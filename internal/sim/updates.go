@@ -1,0 +1,73 @@
+package sim
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+
+	"ffc/internal/faults"
+)
+
+// UpdateExecConfig parameterizes the §8.5 congestion-free update execution
+// simulation (Figure 16).
+type UpdateExecConfig struct {
+	// Steps is the number of configuration steps in the update chain.
+	Steps int
+	// Switches is how many switches each step must reconfigure.
+	Switches int
+	// Kc is the cumulative number of faults FFC tolerates; 0 models the
+	// non-FFC baseline, where every switch of a step must confirm before
+	// the next step starts.
+	Kc int
+	// Model is the switch behavior model.
+	Model faults.SwitchModel
+	// Deadline caps the simulated update duration (the paper waits at most
+	// one TE interval, 300 s).
+	Deadline time.Duration
+}
+
+// SimulateUpdateExecution plays out one multi-step update and returns how
+// long it took (capped at Deadline).
+//
+// Each switch applies the chain's steps sequentially; a failed update is
+// detected after one second and retried until it succeeds. Without FFC the
+// controller may only issue step i+1 once every switch confirmed step i —
+// the slowest switch gates the whole chain. With FFC (kc > 0) the
+// controller proceeds once all but kc switches have confirmed (the paper's
+// §5.2 guarantee makes that transition congestion-free), and the update
+// completes when all but kc switches have applied the final step.
+func SimulateUpdateExecution(cfg UpdateExecConfig, rng *rand.Rand) time.Duration {
+	if cfg.Deadline == 0 {
+		cfg.Deadline = 300 * time.Second
+	}
+	const retryDetect = time.Second
+	n := cfg.Switches
+	finish := make([]time.Duration, n) // per-switch completion of the last issued step
+	var issue time.Duration            // when the current step was issued
+	for step := 0; step < cfg.Steps; step++ {
+		for s := 0; s < n; s++ {
+			start := finish[s]
+			if issue > start {
+				start = issue
+			}
+			d, failed := cfg.Model.SampleUpdate(rng)
+			for failed {
+				var rd time.Duration
+				rd, failed = cfg.Model.SampleUpdate(rng)
+				d += retryDetect + rd
+			}
+			finish[s] = start + d
+		}
+		sorted := append([]time.Duration(nil), finish...)
+		sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+		need := n - cfg.Kc
+		if need < 1 {
+			need = 1
+		}
+		issue = sorted[need-1] // step s+1 may be issued now
+		if issue >= cfg.Deadline {
+			return cfg.Deadline
+		}
+	}
+	return issue
+}

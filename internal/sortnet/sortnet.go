@@ -1,0 +1,214 @@
+// Package sortnet encodes "bounded M-sum" constraints into linear programs
+// using partial sorting networks, the core constraint-reduction technique of
+// the FFC paper (§4.4).
+//
+// The bounded M-sum problem asks that the sum of any M out of N quantities
+// stay below a bound B. Naively this is C(N,M) constraints; all of them hold
+// iff the sum of the *largest* M quantities is ≤ B. This package emits, for
+// a slice of LP expressions, auxiliary variables y₁…y_M and O(N·M) linear
+// constraints such that in every feasible assignment Σyⱼ upper-bounds the
+// sum of the M largest expressions (Algorithms 1 and 2 of the paper).
+// A symmetric construction lower-bounds the sum of the M smallest.
+//
+// The construction is a partial bubble-sort network: pass j extracts (an
+// over-approximation of) the j-th largest value. Each compare-swap on wires
+// (x, y) introduces hi, lo with
+//
+//	hi ≥ x,  hi ≥ y,  hi + lo = x + y,
+//
+// which is the paper's 2·hi = x + y + |x−y| encoding after eliminating the
+// absolute-value auxiliary (|x−y| = 2·hi − x − y ≥ ±(x−y)). Soundness: hi
+// upper-bounds max(x,y) while the pair conserves the sum, so any slack an
+// adversarial solution adds to hi is exactly removed from lo and cannot
+// reduce the final Σyⱼ.
+//
+// The package also provides the compact "top-k" dual encoding
+// (Σ largest-M nᵢ ≤ B  ⟺  ∃s, tᵢ ≥ 0: M·s + Σtᵢ ≤ B, tᵢ ≥ nᵢ − s) used as
+// an ablation baseline, and a full Batcher odd-even merge sorting network
+// used by tests as an oracle for network construction.
+package sortnet
+
+import (
+	"fmt"
+
+	"ffc/internal/lp"
+)
+
+// Result carries the outputs of a partial sorting-network encoding.
+type Result struct {
+	// Ranked[j] is an expression for the (j+1)-th largest (or smallest)
+	// input: a single auxiliary LP variable per rank.
+	Ranked []*lp.Expr
+	// Sum is Σ Ranked, the bound on the M-sum.
+	Sum *lp.Expr
+	// Vars is the number of auxiliary variables added to the model.
+	Vars int
+	// Constraints is the number of constraints added to the model.
+	Constraints int
+}
+
+// LargestSum adds a partial bubble network over exprs to m and returns an
+// expression that, in any feasible assignment, is ≥ the sum of the M largest
+// input expressions. Using it on the left side of a ≤ constraint yields the
+// exact bounded M-sum semantics (the LP can always set the auxiliaries to
+// the true sorted values). M is clamped to [0, len(exprs)].
+//
+// Inputs are assumed bounded below in the model (the usual case: FFC inputs
+// are non-negative traffic quantities); the auxiliaries are created as free
+// variables so negative inputs are handled too.
+func LargestSum(m *lp.Model, exprs []*lp.Expr, M int, name string) Result {
+	return partialSort(m, exprs, M, name, true)
+}
+
+// SmallestSum is the symmetric construction: the returned expression is
+// ≤ the sum of the M smallest inputs in any feasible assignment, for use on
+// the left side of a ≥ constraint (Eqn 15 of the paper).
+func SmallestSum(m *lp.Model, exprs []*lp.Expr, M int, name string) Result {
+	return partialSort(m, exprs, M, name, false)
+}
+
+func partialSort(m *lp.Model, exprs []*lp.Expr, M int, name string, largest bool) Result {
+	if M < 0 {
+		M = 0
+	}
+	if M > len(exprs) {
+		M = len(exprs)
+	}
+	res := Result{Sum: lp.NewExpr()}
+	if M == 0 {
+		return res
+	}
+	// Working wires: start as the input expressions; each bubble pass
+	// replaces them with loser wires and extracts one winner.
+	wires := make([]*lp.Expr, len(exprs))
+	copy(wires, exprs)
+	for pass := 0; pass < M; pass++ {
+		if len(wires) == 1 {
+			// Single wire left: it is its own extremum; bind it to a
+			// fresh variable to keep the Ranked contract (one var/rank).
+			y := m.NewVar(fmt.Sprintf("%s.y%d", name, pass), negInf(), lp.Inf)
+			ye := lp.NewExpr().Add(1, y)
+			if largest {
+				m.AddGE(lp.NewExpr().Add(1, y).AddExpr(-1, wires[0]), 0)
+				res.Constraints++
+			} else {
+				m.AddLE(lp.NewExpr().Add(1, y).AddExpr(-1, wires[0]), 0)
+				res.Constraints++
+			}
+			res.Vars++
+			res.Ranked = append(res.Ranked, ye)
+			res.Sum.Add(1, y)
+			wires = nil
+			break
+		}
+		winner, losers, v, c := bubblePass(m, wires, fmt.Sprintf("%s.p%d", name, pass), largest)
+		res.Vars += v
+		res.Constraints += c
+		res.Ranked = append(res.Ranked, winner)
+		res.Sum.AddExpr(1, winner)
+		wires = losers
+	}
+	return res
+}
+
+// bubblePass runs one bubble pass (Algorithm 2, BubbleMax): a chain of
+// compare-swaps that carries the running extremum through the array and
+// returns it plus the N−1 loser wires.
+func bubblePass(m *lp.Model, wires []*lp.Expr, name string, largest bool) (winner *lp.Expr, losers []*lp.Expr, vars, cons int) {
+	cur := wires[0]
+	for i := 1; i < len(wires); i++ {
+		hi, lo := compareSwap(m, cur, wires[i], fmt.Sprintf("%s.c%d", name, i), largest)
+		vars += 2
+		cons += 3
+		cur = hi
+		losers = append(losers, lo)
+	}
+	return cur, losers, vars, cons
+}
+
+// compareSwap emits one compare-swap operator. For largest=true, hi is an
+// over-approximation of max(x, y) and lo the complementary wire; for
+// largest=false the roles flip (hi under-approximates min).
+func compareSwap(m *lp.Model, x, y *lp.Expr, name string, largest bool) (hi, lo *lp.Expr) {
+	vh := m.NewVar(name+".h", negInf(), lp.Inf)
+	vl := m.NewVar(name+".l", negInf(), lp.Inf)
+	he := lp.NewExpr().Add(1, vh)
+	le := lp.NewExpr().Add(1, vl)
+	if largest {
+		// vh ≥ x, vh ≥ y
+		m.AddGE(lp.NewExpr().Add(1, vh).AddExpr(-1, x), 0)
+		m.AddGE(lp.NewExpr().Add(1, vh).AddExpr(-1, y), 0)
+	} else {
+		// vh ≤ x, vh ≤ y
+		m.AddLE(lp.NewExpr().Add(1, vh).AddExpr(-1, x), 0)
+		m.AddLE(lp.NewExpr().Add(1, vh).AddExpr(-1, y), 0)
+	}
+	// vh + vl = x + y (sum conservation)
+	m.AddEQ(lp.NewExpr().Add(1, vh).Add(1, vl).AddExpr(-1, x).AddExpr(-1, y), 0)
+	return he, le
+}
+
+func negInf() float64 { return -lp.Inf }
+
+// TopKCompact adds the compact dual encoding of "sum of the M largest of
+// exprs" and returns an expression that upper-bounds it:
+//
+//	M·s + Σ tᵢ   with  tᵢ ≥ exprᵢ − s,  tᵢ ≥ 0,  s free.
+//
+// This is the classic exact LP representation of the sum-of-k-largest
+// (CVaR-style) constraint; it uses N+1 variables and N constraints versus
+// the sorting network's O(N·M). It exists as an ablation/validation
+// alternative to the paper's sorting-network encoding.
+func TopKCompact(m *lp.Model, exprs []*lp.Expr, M int, name string) Result {
+	if M < 0 {
+		M = 0
+	}
+	if M > len(exprs) {
+		M = len(exprs)
+	}
+	res := Result{Sum: lp.NewExpr()}
+	if M == 0 {
+		return res
+	}
+	s := m.NewVar(name+".s", negInf(), lp.Inf)
+	res.Vars++
+	sum := lp.NewExpr().Add(float64(M), s)
+	for i, e := range exprs {
+		t := m.NewVar(fmt.Sprintf("%s.t%d", name, i), 0, lp.Inf)
+		res.Vars++
+		// t ≥ e − s
+		m.AddGE(lp.NewExpr().Add(1, t).Add(1, s).AddExpr(-1, e), 0)
+		res.Constraints++
+		sum.Add(1, t)
+	}
+	res.Sum = sum
+	return res
+}
+
+// BottomKCompact is the symmetric compact encoding lower-bounding the sum of
+// the M smallest inputs: M·s − Σ tᵢ with tᵢ ≥ s − exprᵢ, tᵢ ≥ 0.
+func BottomKCompact(m *lp.Model, exprs []*lp.Expr, M int, name string) Result {
+	if M < 0 {
+		M = 0
+	}
+	if M > len(exprs) {
+		M = len(exprs)
+	}
+	res := Result{Sum: lp.NewExpr()}
+	if M == 0 {
+		return res
+	}
+	s := m.NewVar(name+".s", negInf(), lp.Inf)
+	res.Vars++
+	sum := lp.NewExpr().Add(float64(M), s)
+	for i, e := range exprs {
+		t := m.NewVar(fmt.Sprintf("%s.t%d", name, i), 0, lp.Inf)
+		res.Vars++
+		// t ≥ s − e
+		m.AddGE(lp.NewExpr().Add(1, t).Add(-1, s).AddExpr(1, e), 0)
+		res.Constraints++
+		sum.Add(-1, t)
+	}
+	res.Sum = sum
+	return res
+}

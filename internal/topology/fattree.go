@@ -1,0 +1,61 @@
+package topology
+
+import "fmt"
+
+// FatTree generates a k-ary fat-tree data-center fabric (k even): (k/2)²
+// core switches, k pods of k/2 aggregation and k/2 edge switches each.
+// Every edge switch uplinks to every aggregation switch in its pod; the
+// i-th aggregation switch of each pod connects to core switches
+// i·k/2 … (i+1)·k/2 − 1. The paper notes TE in DCNs runs over elephant
+// flows between edge switches with capacities net of mice traffic; this
+// generator provides that substrate for FFC experiments outside the WAN
+// setting.
+func FatTree(k int, linkCapacity float64) *Network {
+	if k < 2 || k%2 != 0 {
+		panic(fmt.Sprintf("topology: fat-tree arity must be even and ≥ 2, got %d", k))
+	}
+	if linkCapacity <= 0 {
+		linkCapacity = 10
+	}
+	n := NewNetwork(fmt.Sprintf("fat-tree-%d", k))
+	half := k / 2
+
+	core := make([]SwitchID, half*half)
+	for i := range core {
+		core[i] = n.AddSwitch(fmt.Sprintf("core-%d", i), "core", 0, 0)
+	}
+	agg := make([][]SwitchID, k)
+	edge := make([][]SwitchID, k)
+	for p := 0; p < k; p++ {
+		agg[p] = make([]SwitchID, half)
+		edge[p] = make([]SwitchID, half)
+		site := fmt.Sprintf("pod-%d", p)
+		for i := 0; i < half; i++ {
+			agg[p][i] = n.AddSwitch(fmt.Sprintf("agg-%d-%d", p, i), site, float64(p), 1)
+			edge[p][i] = n.AddSwitch(fmt.Sprintf("edge-%d-%d", p, i), site, float64(p), 2)
+		}
+		for _, e := range edge[p] {
+			for _, a := range agg[p] {
+				n.AddDuplex(e, a, linkCapacity)
+			}
+		}
+		for i, a := range agg[p] {
+			for j := 0; j < half; j++ {
+				n.AddDuplex(a, core[i*half+j], linkCapacity)
+			}
+		}
+	}
+	return n
+}
+
+// EdgeSwitches returns the IDs of a fat-tree's edge (top-of-rack) switches,
+// the endpoints of elephant flows.
+func (n *Network) EdgeSwitches() []SwitchID {
+	var out []SwitchID
+	for _, s := range n.Switches {
+		if len(s.Name) >= 4 && s.Name[:4] == "edge" {
+			out = append(out, s.ID)
+		}
+	}
+	return out
+}

@@ -1,0 +1,103 @@
+package topology
+
+import "testing"
+
+func TestFatTreeShape(t *testing.T) {
+	for _, k := range []int{2, 4, 6} {
+		n := FatTree(k, 10)
+		if err := n.Validate(); err != nil {
+			t.Fatalf("k=%d: %v", k, err)
+		}
+		half := k / 2
+		wantSwitches := half*half + k*half*2
+		if n.NumSwitches() != wantSwitches {
+			t.Fatalf("k=%d: %d switches, want %d", k, n.NumSwitches(), wantSwitches)
+		}
+		// Directed links: 2 × (edge-agg: k·half·half, agg-core: k·half·half).
+		wantLinks := 2 * (k*half*half + k*half*half)
+		if n.NumLinks() != wantLinks {
+			t.Fatalf("k=%d: %d links, want %d", k, n.NumLinks(), wantLinks)
+		}
+		if !n.Connected() {
+			t.Fatalf("k=%d: not connected", k)
+		}
+		if got := len(n.EdgeSwitches()); got != k*half {
+			t.Fatalf("k=%d: %d edge switches, want %d", k, got, k*half)
+		}
+	}
+}
+
+func TestFatTreeRejectsOddArity(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for odd k")
+		}
+	}()
+	FatTree(3, 10)
+}
+
+func TestFatTreePathDiversity(t *testing.T) {
+	// Any inter-pod edge pair must have at least k/2 link-disjoint paths
+	// (one per aggregation uplink) — the property FFC's τ relies on.
+	n := FatTree(4, 10)
+	edges := n.EdgeSwitches()
+	if len(edges) < 3 {
+		t.Fatal("too few edge switches")
+	}
+	src, dst := edges[0], edges[len(edges)-1]
+	if n.Switches[src].Site == n.Switches[dst].Site {
+		t.Fatal("picked same-pod pair")
+	}
+	// Count disjoint paths greedily via repeated shortest path with link
+	// removal (simple check, not max-flow).
+	banned := map[LinkID]bool{}
+	paths := 0
+	for i := 0; i < 4; i++ {
+		p := shortestPathForTest(n, src, dst, banned)
+		if p == nil {
+			break
+		}
+		paths++
+		for _, l := range p {
+			banned[l] = true
+			if tw := n.Links[l].Twin; tw != None {
+				banned[tw] = true
+			}
+		}
+	}
+	if paths < 2 {
+		t.Fatalf("only %d disjoint paths between pods, want ≥ 2", paths)
+	}
+}
+
+// shortestPathForTest is a minimal BFS over allowed links.
+func shortestPathForTest(n *Network, src, dst SwitchID, banned map[LinkID]bool) []LinkID {
+	type node struct {
+		sw   SwitchID
+		via  LinkID
+		prev int
+	}
+	queue := []node{{sw: src, via: None, prev: -1}}
+	seen := map[SwitchID]bool{src: true}
+	for i := 0; i < len(queue); i++ {
+		cur := queue[i]
+		if cur.sw == dst {
+			var rev []LinkID
+			for j := i; queue[j].via != None; j = queue[j].prev {
+				rev = append(rev, queue[j].via)
+			}
+			for a, b := 0, len(rev)-1; a < b; a, b = a+1, b-1 {
+				rev[a], rev[b] = rev[b], rev[a]
+			}
+			return rev
+		}
+		for _, l := range n.OutLinks(cur.sw) {
+			if banned[l] || seen[n.Links[l].Dst] {
+				continue
+			}
+			seen[n.Links[l].Dst] = true
+			queue = append(queue, node{sw: n.Links[l].Dst, via: l, prev: i})
+		}
+	}
+	return nil
+}

@@ -1,0 +1,23 @@
+package topology
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParseGraphML: arbitrary bytes must never panic the parser, and any
+// accepted topology must validate.
+func FuzzParseGraphML(f *testing.F) {
+	f.Add(abileneGraphML)
+	f.Add(`<graphml><graph id="g"><node id="a"/><node id="b"/><edge source="a" target="b"/></graph></graphml>`)
+	f.Add(`<graphml>`)
+	f.Fuzz(func(t *testing.T, data string) {
+		net, err := ParseGraphML(strings.NewReader(data), 10)
+		if err != nil {
+			return
+		}
+		if verr := net.Validate(); verr != nil {
+			t.Fatalf("accepted topology fails validation: %v", verr)
+		}
+	})
+}

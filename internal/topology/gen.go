@@ -1,0 +1,225 @@
+package topology
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// LNetConfig parameterizes the synthetic L-Net-like WAN generator. The real
+// L-Net has O(50) sites, O(100) switches and O(1000) links; the defaults
+// here produce the same shape at a scale a pure-Go simplex handles in the
+// full experiment sweeps. Raise Sites/SwitchesPerSite to approach the
+// paper's scale.
+type LNetConfig struct {
+	// Sites is the number of geographic sites. Default 12.
+	Sites int
+	// SwitchesPerSite is the number of WAN-facing switches per site.
+	// Default 2.
+	SwitchesPerSite int
+	// AvgSiteDegree is the target average degree of the site-level graph.
+	// Default 3.4. A ring is always present, so the effective minimum is 2.
+	AvgSiteDegree float64
+	// Capacities is the set of inter-site physical link capacities to draw
+	// from. Default {40, 100}.
+	Capacities []float64
+	// IntraSiteCapacity is the capacity of links between same-site
+	// switches. Default 400 (intra-site fabric is not the bottleneck).
+	IntraSiteCapacity float64
+}
+
+func (c *LNetConfig) fillDefaults() {
+	if c.Sites == 0 {
+		c.Sites = 12
+	}
+	if c.SwitchesPerSite == 0 {
+		c.SwitchesPerSite = 2
+	}
+	if c.AvgSiteDegree == 0 {
+		c.AvgSiteDegree = 3.4
+	}
+	if len(c.Capacities) == 0 {
+		c.Capacities = []float64{40, 100}
+	}
+	if c.IntraSiteCapacity == 0 {
+		c.IntraSiteCapacity = 400
+	}
+}
+
+// LNet generates an L-Net-like wide-area network: sites scattered on the
+// globe, a connected site-level graph biased toward short links (Waxman
+// style), and full switch-pair meshes across each site adjacency so flows
+// have parallel paths (the paper's L-Net has many parallel switch-level
+// links per site pair).
+func LNet(cfg LNetConfig, rng *rand.Rand) *Network {
+	cfg.fillDefaults()
+	n := NewNetwork("L-Net")
+
+	type site struct {
+		lat, lon float64
+		switches []SwitchID
+	}
+	sites := make([]site, cfg.Sites)
+	for i := range sites {
+		// Populated latitudes: −45..+60.
+		sites[i].lat = -45 + rng.Float64()*105
+		sites[i].lon = -180 + rng.Float64()*360
+		for j := 0; j < cfg.SwitchesPerSite; j++ {
+			id := n.AddSwitch(fmt.Sprintf("site%02d-sw%d", i, j), fmt.Sprintf("site%02d", i), sites[i].lat, sites[i].lon)
+			sites[i].switches = append(sites[i].switches, id)
+		}
+	}
+
+	// Intra-site full mesh.
+	for _, s := range sites {
+		for a := 0; a < len(s.switches); a++ {
+			for b := a + 1; b < len(s.switches); b++ {
+				n.AddDuplex(s.switches[a], s.switches[b], cfg.IntraSiteCapacity)
+			}
+		}
+	}
+
+	// Site-level graph: ring for connectivity plus Waxman-ish extras.
+	adj := make(map[[2]int]bool)
+	addSiteEdge := func(a, b int) {
+		if a == b {
+			return
+		}
+		if a > b {
+			a, b = b, a
+		}
+		if adj[[2]int{a, b}] {
+			return
+		}
+		adj[[2]int{a, b}] = true
+		capac := cfg.Capacities[rng.Intn(len(cfg.Capacities))]
+		for _, sa := range sites[a].switches {
+			for _, sb := range sites[b].switches {
+				n.AddDuplex(sa, sb, capac)
+			}
+		}
+	}
+	perm := rng.Perm(cfg.Sites)
+	for i := 0; i < cfg.Sites; i++ {
+		addSiteEdge(perm[i], perm[(i+1)%cfg.Sites])
+	}
+	wantEdges := int(cfg.AvgSiteDegree * float64(cfg.Sites) / 2)
+	maxDist := 0.0
+	dist := func(a, b int) float64 {
+		return n.GeoDistanceKm(sites[a].switches[0], sites[b].switches[0])
+	}
+	for a := 0; a < cfg.Sites; a++ {
+		for b := a + 1; b < cfg.Sites; b++ {
+			if d := dist(a, b); d > maxDist {
+				maxDist = d
+			}
+		}
+	}
+	for guard := 0; len(adj) < wantEdges && guard < 100000; guard++ {
+		a, b := rng.Intn(cfg.Sites), rng.Intn(cfg.Sites)
+		if a == b {
+			continue
+		}
+		// Waxman probability: prefer geographically short edges.
+		p := 0.9 * math.Exp(-dist(a, b)/(0.35*maxDist))
+		if rng.Float64() < p {
+			addSiteEdge(a, b)
+		}
+	}
+	return n
+}
+
+// b4SiteEdges is the site-level adjacency used for S-Net, approximating the
+// published B4 map (12 data-center sites spanning three continents, 19
+// site-level links).
+var b4SiteEdges = [][2]int{
+	{0, 1}, {0, 2}, {1, 2}, {1, 3}, {2, 4}, {3, 4}, {3, 5},
+	{4, 5}, {4, 6}, {5, 7}, {6, 7}, {6, 8}, {7, 8}, {7, 9},
+	{8, 9}, {8, 10}, {9, 11}, {10, 11}, {2, 5},
+}
+
+// b4Sites gives the approximate geography of the 12 sites (name, lat, lon).
+var b4Sites = []struct {
+	name     string
+	lat, lon float64
+}{
+	{"us-west1", 45.6, -121.2}, {"us-west2", 37.4, -122.1}, {"us-central1", 41.2, -95.9},
+	{"us-central2", 33.7, -97.1}, {"us-east1", 33.0, -80.0}, {"us-east2", 39.0, -77.5},
+	{"eu-west1", 53.3, -6.3}, {"eu-west2", 50.4, 3.8}, {"eu-central1", 52.5, 13.4},
+	{"asia-east1", 24.1, 120.7}, {"asia-se1", 1.35, 103.8}, {"asia-ne1", 35.6, 139.7},
+}
+
+// SNet generates the S-Net topology of §8.1: B4's 12-site site-level graph,
+// two switches per site, each site-level link realized as four 10-unit
+// switch-level links between the four inter-site switch pairs.
+func SNet() *Network {
+	n := NewNetwork("S-Net")
+	sw := make([][2]SwitchID, len(b4Sites))
+	for i, s := range b4Sites {
+		sw[i][0] = n.AddSwitch(s.name+"-a", s.name, s.lat, s.lon)
+		sw[i][1] = n.AddSwitch(s.name+"-b", s.name, s.lat, s.lon)
+		n.AddDuplex(sw[i][0], sw[i][1], 400)
+	}
+	for _, e := range b4SiteEdges {
+		for _, a := range sw[e[0]] {
+			for _, b := range sw[e[1]] {
+				n.AddDuplex(a, b, 10)
+			}
+		}
+	}
+	return n
+}
+
+// Testbed returns the 8-site/4-continent WAN emulated in §7 (Figure 9):
+// one WAN-facing switch per site, every cross-site link 1 unit (1 Gbps).
+// The exact link set of Figure 9 is not given numerically in the paper; this
+// reconstruction includes every link and tunnel the text references
+// (s6–s7, s4–s5, s4–s3, s4–s6, s3–s6, s3–s5) plus periphery so that all
+// sites are multiply connected.
+func Testbed() *Network {
+	n := NewNetwork("testbed")
+	coords := []struct {
+		name     string
+		lat, lon float64
+	}{
+		{"s1", 47.6, -122.3}, // Seattle
+		{"s2", 37.8, -122.4}, // San Francisco
+		{"s3", 51.5, -0.1},   // London
+		{"s4", 50.1, 8.7},    // Frankfurt
+		{"s5", 40.7, -74.0},  // New York (TE controller site)
+		{"s6", 1.35, 103.8},  // Singapore
+		{"s7", 35.6, 139.7},  // Tokyo
+		{"s8", -33.9, 151.2}, // Sydney
+	}
+	ids := make([]SwitchID, len(coords))
+	for i, c := range coords {
+		ids[i] = n.AddSwitch(c.name, c.name, c.lat, c.lon)
+	}
+	edges := [][2]int{
+		{1, 2}, {1, 5}, {2, 5}, {2, 4}, {3, 4}, {3, 5}, {3, 6},
+		{4, 5}, {4, 6}, {5, 6}, {6, 7}, {5, 7}, {7, 8}, {6, 8},
+	}
+	for _, e := range edges {
+		n.AddDuplex(ids[e[0]-1], ids[e[1]-1], 1)
+	}
+	return n
+}
+
+// Example4 returns the 4-switch illustrative network of Figures 2–5:
+// switches s1…s4, duplex unit-capacity links forming the diamond used by
+// both the data-plane (Fig 2/4) and control-plane (Fig 3/5) walkthroughs.
+// Capacities are 10 units, matching the figures' numbers.
+func Example4() *Network {
+	n := NewNetwork("example4")
+	s1 := n.AddSwitch("s1", "s1", 0, 0)
+	s2 := n.AddSwitch("s2", "s2", 0, 1)
+	s3 := n.AddSwitch("s3", "s3", 1, 0)
+	s4 := n.AddSwitch("s4", "s4", 1, 1)
+	n.AddDuplex(s1, s2, 10)
+	n.AddDuplex(s1, s3, 10)
+	n.AddDuplex(s1, s4, 10)
+	n.AddDuplex(s2, s4, 10)
+	n.AddDuplex(s3, s4, 10)
+	n.AddDuplex(s2, s3, 10)
+	return n
+}

@@ -1,0 +1,103 @@
+package topology
+
+import (
+	"strings"
+	"testing"
+)
+
+// abileneGraphML is a hand-reduced Internet-Topology-Zoo-style sample
+// (Abilene's shape: 5 of its PoPs).
+const abileneGraphML = `<?xml version="1.0" encoding="utf-8"?>
+<graphml xmlns="http://graphml.graphdrawing.org/xmlns">
+  <key attr.name="Latitude" attr.type="double" for="node" id="d29"/>
+  <key attr.name="Longitude" attr.type="double" for="node" id="d32"/>
+  <key attr.name="label" attr.type="string" for="node" id="d33"/>
+  <key attr.name="LinkSpeedRaw" attr.type="double" for="edge" id="d38"/>
+  <graph edgedefault="undirected" id="Abilene5">
+    <node id="0"><data key="d33">New York</data><data key="d29">40.71</data><data key="d32">-74.00</data></node>
+    <node id="1"><data key="d33">Chicago</data><data key="d29">41.85</data><data key="d32">-87.65</data></node>
+    <node id="2"><data key="d33">Washington DC</data><data key="d29">38.89</data><data key="d32">-77.03</data></node>
+    <node id="3"><data key="d33">Atlanta</data><data key="d29">33.74</data><data key="d32">-84.39</data></node>
+    <node id="4"><data key="d33">Indianapolis</data><data key="d29">39.76</data><data key="d32">-86.15</data></node>
+    <edge source="0" target="1"><data key="d38">10000000000</data></edge>
+    <edge source="0" target="2"><data key="d38">10000000000</data></edge>
+    <edge source="2" target="3"/>
+    <edge source="1" target="4"/>
+    <edge source="3" target="4"><data key="d38">2500000000</data></edge>
+    <edge source="1" target="4"/> <!-- parallel edge, must collapse -->
+    <edge source="2" target="2"/> <!-- self loop, must be dropped -->
+  </graph>
+</graphml>`
+
+func TestParseGraphML(t *testing.T) {
+	net, err := ParseGraphML(strings.NewReader(abileneGraphML), 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if net.Name != "Abilene5" {
+		t.Fatalf("name %q", net.Name)
+	}
+	if net.NumSwitches() != 5 {
+		t.Fatalf("%d switches, want 5", net.NumSwitches())
+	}
+	// 5 distinct undirected edges → 10 directed links.
+	if net.NumLinks() != 10 {
+		t.Fatalf("%d directed links, want 10", net.NumLinks())
+	}
+	ny, ok := net.SwitchByName("New York")
+	if !ok {
+		t.Fatal("New York missing")
+	}
+	if net.Switches[ny].Lat < 40 || net.Switches[ny].Lat > 41 {
+		t.Fatalf("NY latitude %v", net.Switches[ny].Lat)
+	}
+	chi, _ := net.SwitchByName("Chicago")
+	l := net.FindLink(ny, chi)
+	if l == None {
+		t.Fatal("NY–Chicago link missing")
+	}
+	if net.Links[l].Capacity != 10 {
+		t.Fatalf("10 Gbps link parsed as %v", net.Links[l].Capacity)
+	}
+	atl, _ := net.SwitchByName("Atlanta")
+	ind, _ := net.SwitchByName("Indianapolis")
+	if la := net.FindLink(atl, ind); la == None || net.Links[la].Capacity != 2.5 {
+		t.Fatalf("2.5 Gbps link wrong: %v", net.Links[net.FindLink(atl, ind)].Capacity)
+	}
+	dc, _ := net.SwitchByName("Washington DC")
+	if net.FindLink(atl, dc) == None {
+		t.Fatal("default-capacity link missing")
+	}
+	if !net.Connected() {
+		t.Fatal("parsed network disconnected")
+	}
+	// Geo distances usable for propagation modeling.
+	if d := net.GeoDistanceKm(ny, chi); d < 900 || d > 1400 {
+		t.Fatalf("NY–Chicago %v km", d)
+	}
+}
+
+func TestParseGraphMLErrors(t *testing.T) {
+	cases := map[string]string{
+		"garbage":      "not xml at all",
+		"no nodes":     `<graphml><graph id="g"></graph></graphml>`,
+		"bad edge ref": `<graphml><graph id="g"><node id="a"/><edge source="a" target="zz"/></graph></graphml>`,
+		"dup node":     `<graphml><graph id="g"><node id="a"/><node id="a"/></graph></graphml>`,
+	}
+	for name, blob := range cases {
+		if _, err := ParseGraphML(strings.NewReader(blob), 10); err == nil {
+			t.Fatalf("%s: expected error", name)
+		}
+	}
+}
+
+func TestParseGraphMLIntoFFCPipeline(t *testing.T) {
+	// A parsed real-world-style topology must flow through tunnel layout.
+	net, err := ParseGraphML(strings.NewReader(abileneGraphML), 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := net.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,139 @@
+package tunnel
+
+import (
+	"container/heap"
+	"math"
+
+	"ffc/internal/topology"
+)
+
+// DisjointPair returns a pair of physically link-disjoint paths from src to
+// dst with minimum total weight (Suurballe/Bhandari), or a single shortest
+// path when no disjoint pair exists, or nil when dst is unreachable.
+//
+// Greedy successive-shortest-paths can fail to find a disjoint pair that
+// exists (the first path may use the only bridge between two otherwise
+// disjoint routes); Suurballe's reduced-cost reversal is exact. The (1,q)
+// tunnel layout seeds each flow with this pair before filling in greedily,
+// so τf = |Tf| − ke·pf never collapses merely because the shortest path was
+// greedy.
+func DisjointPair(net *topology.Network, src, dst topology.SwitchID, w WeightFunc) [][]topology.LinkID {
+	if w == nil {
+		w = UnitWeights
+	}
+	dist, ok := dijkstraAll(net, src, w)
+	if !ok[dst] {
+		return nil
+	}
+	p1 := ShortestPath(net, src, dst, w, nil, nil)
+	if p1 == nil {
+		return nil
+	}
+
+	onP1 := map[topology.LinkID]bool{}
+	twinOfP1 := map[topology.LinkID]bool{}
+	for _, l := range p1 {
+		onP1[l] = true
+		if tw := net.Links[l].Twin; tw != topology.None {
+			twinOfP1[tw] = true
+		}
+	}
+	// Reduced costs: w'(u→v) = w + d(u) − d(v) ≥ 0; P1's edges are
+	// removed and their twins become the zero-cost "reversal" arcs.
+	reduced := func(l topology.LinkID) float64 {
+		if onP1[l] {
+			return math.Inf(1)
+		}
+		if twinOfP1[l] {
+			return 0
+		}
+		lk := net.Links[l]
+		if !ok[lk.Src] || !ok[lk.Dst] {
+			return math.Inf(1)
+		}
+		c := w(l) + dist[lk.Src] - dist[lk.Dst]
+		if c < 0 {
+			c = 0 // floating-point guard; exact reduced costs are ≥ 0
+		}
+		return c
+	}
+	p2 := ShortestPath(net, src, dst, reduced, nil, nil)
+	if p2 == nil {
+		return [][]topology.LinkID{p1}
+	}
+
+	// Merge: cancel opposite traversals of the same physical link, then
+	// decompose the remaining arcs into two s→t paths.
+	use := map[topology.LinkID]int{}
+	for _, l := range p1 {
+		use[l]++
+	}
+	for _, l := range p2 {
+		if tw := net.Links[l].Twin; tw != topology.None && use[tw] > 0 {
+			use[tw]--
+			continue
+		}
+		use[l]++
+	}
+	next := map[topology.SwitchID][]topology.LinkID{}
+	for l, n := range use {
+		for i := 0; i < n; i++ {
+			next[net.Links[l].Src] = append(next[net.Links[l].Src], l)
+		}
+	}
+	var out [][]topology.LinkID
+	for i := 0; i < 2; i++ {
+		var path []topology.LinkID
+		v := src
+		for v != dst {
+			ls := next[v]
+			if len(ls) == 0 {
+				return [][]topology.LinkID{p1} // decomposition failed; fall back
+			}
+			l := ls[len(ls)-1]
+			next[v] = ls[:len(ls)-1]
+			path = append(path, l)
+			v = net.Links[l].Dst
+			if len(path) > net.NumLinks() {
+				return [][]topology.LinkID{p1}
+			}
+		}
+		out = append(out, path)
+	}
+	return out
+}
+
+// dijkstraAll computes shortest distances from src to every switch.
+func dijkstraAll(net *topology.Network, src topology.SwitchID, w WeightFunc) ([]float64, []bool) {
+	n := net.NumSwitches()
+	dist := make([]float64, n)
+	done := make([]bool, n)
+	reach := make([]bool, n)
+	for i := range dist {
+		dist[i] = math.Inf(1)
+	}
+	dist[src] = 0
+	reach[src] = true
+	h := &pathHeap{{src, 0}}
+	for h.Len() > 0 {
+		it := heap.Pop(h).(pqItem)
+		v := it.sw
+		if done[v] {
+			continue
+		}
+		done[v] = true
+		for _, lid := range net.OutLinks(v) {
+			c := w(lid)
+			if math.IsInf(c, 1) {
+				continue
+			}
+			d := net.Links[lid].Dst
+			if nd := it.dist + c; nd < dist[d]-1e-12 {
+				dist[d] = nd
+				reach[d] = true
+				heap.Push(h, pqItem{d, nd})
+			}
+		}
+	}
+	return dist, reach
+}

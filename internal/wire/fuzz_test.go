@@ -1,0 +1,31 @@
+package wire
+
+import (
+	"testing"
+
+	"ffc/internal/topology"
+)
+
+// FuzzParseDemands guards the demands parser against malformed inputs: it
+// must return an error or a valid matrix, never panic.
+func FuzzParseDemands(f *testing.F) {
+	f.Add([]byte(`{"demands":[{"src":"s2","dst":"s4","demand":7}]}`))
+	f.Add([]byte(`{"demands":[]}`))
+	f.Add([]byte(`{`))
+	f.Add([]byte(`{"demands":[{"src":"s2","dst":"s2","demand":-1}]}`))
+	net := topology.Example4()
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := ParseDemands(net, data)
+		if err != nil {
+			return
+		}
+		for fl, d := range m {
+			if d < 0 {
+				t.Fatalf("negative demand %v for %v accepted", d, fl)
+			}
+			if fl.Src == fl.Dst {
+				t.Fatalf("self-flow %v accepted", fl)
+			}
+		}
+	})
+}

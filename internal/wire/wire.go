@@ -1,0 +1,114 @@
+// Package wire defines the JSON formats the CLI tools exchange: topologies
+// (handled natively by internal/topology), demand files, and computed TE
+// states, all keyed by switch names so files are human-editable.
+package wire
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"ffc/internal/core"
+	"ffc/internal/demand"
+	"ffc/internal/topology"
+	"ffc/internal/tunnel"
+)
+
+// DemandEntry is one flow's demand.
+type DemandEntry struct {
+	Src    string  `json:"src"`
+	Dst    string  `json:"dst"`
+	Demand float64 `json:"demand"`
+}
+
+// DemandsFile is the demand-file wrapper.
+type DemandsFile struct {
+	Demands []DemandEntry `json:"demands"`
+}
+
+// ParseDemands resolves a demands file against a topology.
+func ParseDemands(net *topology.Network, data []byte) (demand.Matrix, error) {
+	var f DemandsFile
+	if err := json.Unmarshal(data, &f); err != nil {
+		return nil, fmt.Errorf("wire: parsing demands: %w", err)
+	}
+	m := demand.Matrix{}
+	for i, d := range f.Demands {
+		src, ok := net.SwitchByName(d.Src)
+		if !ok {
+			return nil, fmt.Errorf("wire: demand %d: unknown switch %q", i, d.Src)
+		}
+		dst, ok := net.SwitchByName(d.Dst)
+		if !ok {
+			return nil, fmt.Errorf("wire: demand %d: unknown switch %q", i, d.Dst)
+		}
+		if src == dst {
+			return nil, fmt.Errorf("wire: demand %d: src == dst (%q)", i, d.Src)
+		}
+		if d.Demand < 0 {
+			return nil, fmt.Errorf("wire: demand %d: negative demand %g", i, d.Demand)
+		}
+		m[tunnel.Flow{Src: src, Dst: dst}] += d.Demand
+	}
+	return m, nil
+}
+
+// EncodeDemands renders a matrix back to the file format (deterministic
+// flow order).
+func EncodeDemands(net *topology.Network, m demand.Matrix) DemandsFile {
+	var f DemandsFile
+	for _, fl := range m.Flows() {
+		f.Demands = append(f.Demands, DemandEntry{
+			Src: net.Switches[fl.Src].Name, Dst: net.Switches[fl.Dst].Name, Demand: m[fl],
+		})
+	}
+	return f
+}
+
+// TunnelAlloc is one tunnel's share of a flow.
+type TunnelAlloc struct {
+	Path   []string `json:"path"` // switch names, ingress→egress
+	Alloc  float64  `json:"alloc"`
+	Weight float64  `json:"weight"`
+}
+
+// StateFlow is one flow of a computed configuration.
+type StateFlow struct {
+	Src     string        `json:"src"`
+	Dst     string        `json:"dst"`
+	Demand  float64       `json:"demand"`
+	Rate    float64       `json:"rate"`
+	Tunnels []TunnelAlloc `json:"tunnels"`
+}
+
+// StateFile is the TE-output wrapper.
+type StateFile struct {
+	TotalDemand float64     `json:"total_demand"`
+	TotalRate   float64     `json:"total_rate"`
+	Flows       []StateFlow `json:"flows"`
+}
+
+// EncodeState renders a computed configuration.
+func EncodeState(net *topology.Network, tun *tunnel.Set, demands demand.Matrix, st *core.State) StateFile {
+	out := StateFile{TotalDemand: demands.Total(), TotalRate: st.TotalRate()}
+	for _, fl := range demands.Flows() {
+		sf := StateFlow{
+			Src: net.Switches[fl.Src].Name, Dst: net.Switches[fl.Dst].Name,
+			Demand: demands[fl], Rate: st.Rate[fl],
+		}
+		alloc := st.Alloc[fl]
+		weights := st.Weights(fl)
+		for _, t := range tun.Tunnels(fl) {
+			ta := TunnelAlloc{}
+			for _, sw := range t.Switches {
+				ta.Path = append(ta.Path, net.Switches[sw].Name)
+			}
+			if t.Index < len(alloc) {
+				ta.Alloc = alloc[t.Index]
+				ta.Weight = weights[t.Index]
+			}
+			sf.Tunnels = append(sf.Tunnels, ta)
+		}
+		out.Flows = append(out.Flows, sf)
+	}
+	return out
+}

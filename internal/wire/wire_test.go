@@ -1,0 +1,97 @@
+package wire
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"ffc/internal/core"
+	"ffc/internal/demand"
+	"ffc/internal/topology"
+	"ffc/internal/tunnel"
+)
+
+func TestParseDemandsRoundTrip(t *testing.T) {
+	net := topology.Example4()
+	in := []byte(`{"demands":[
+		{"src":"s2","dst":"s4","demand":7},
+		{"src":"s3","dst":"s4","demand":3},
+		{"src":"s2","dst":"s4","demand":1}
+	]}`)
+	m, err := ParseDemands(net, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, _ := net.SwitchByName("s2")
+	s4, _ := net.SwitchByName("s4")
+	if m[tunnel.Flow{Src: s2, Dst: s4}] != 8 {
+		t.Fatalf("duplicate entries should sum: %v", m)
+	}
+	// Back out and re-parse.
+	blob, err := json.Marshal(EncodeDemands(net, m))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := ParseDemands(net, blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m2.Total() != m.Total() {
+		t.Fatalf("round trip lost demand: %v vs %v", m2.Total(), m.Total())
+	}
+}
+
+func TestParseDemandsErrors(t *testing.T) {
+	net := topology.Example4()
+	cases := []struct {
+		name string
+		blob string
+		want string
+	}{
+		{"unknown-src", `{"demands":[{"src":"nope","dst":"s4","demand":1}]}`, "unknown switch"},
+		{"unknown-dst", `{"demands":[{"src":"s2","dst":"nope","demand":1}]}`, "unknown switch"},
+		{"self", `{"demands":[{"src":"s2","dst":"s2","demand":1}]}`, "src == dst"},
+		{"negative", `{"demands":[{"src":"s2","dst":"s4","demand":-1}]}`, "negative"},
+		{"garbage", `{"demands": 7}`, "parsing"},
+	}
+	for _, tc := range cases {
+		if _, err := ParseDemands(net, []byte(tc.blob)); err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Fatalf("%s: error %v, want containing %q", tc.name, err, tc.want)
+		}
+	}
+}
+
+func TestEncodeState(t *testing.T) {
+	net := topology.Example4()
+	s2, _ := net.SwitchByName("s2")
+	s4, _ := net.SwitchByName("s4")
+	f := tunnel.Flow{Src: s2, Dst: s4}
+	set := tunnel.Layout(net, []tunnel.Flow{f}, tunnel.LayoutConfig{TunnelsPerFlow: 2})
+	solver := core.NewSolver(net, set, core.Options{})
+	demands := demand.Matrix{f: 14}
+	st, _, err := solver.Solve(core.Input{Demands: demands})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sf := EncodeState(net, set, demands, st)
+	if sf.TotalDemand != 14 || sf.TotalRate < 14-1e-6 {
+		t.Fatalf("totals wrong: %+v", sf)
+	}
+	if len(sf.Flows) != 1 || len(sf.Flows[0].Tunnels) != 2 {
+		t.Fatalf("structure wrong: %+v", sf)
+	}
+	var allocSum, weightSum float64
+	for _, ta := range sf.Flows[0].Tunnels {
+		allocSum += ta.Alloc
+		weightSum += ta.Weight
+		if len(ta.Path) < 2 || ta.Path[0] != "s2" {
+			t.Fatalf("path wrong: %v", ta.Path)
+		}
+	}
+	if allocSum < 14-1e-6 {
+		t.Fatalf("alloc sum %v < rate", allocSum)
+	}
+	if weightSum < 1-1e-9 || weightSum > 1+1e-9 {
+		t.Fatalf("weights sum to %v", weightSum)
+	}
+}
