@@ -12,12 +12,14 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 	"time"
 
 	"ffc/internal/experiments"
 	"ffc/internal/faults"
+	"ffc/internal/metrics"
 )
 
 var allExperiments = []string{
@@ -34,6 +36,8 @@ func main() {
 		seed      = flag.Int64("seed", 1, "random seed")
 		tunnels   = flag.Int("tunnels", 6, "tunnels per flow")
 		quick     = flag.Bool("quick", false, "shrink everything for a fast smoke run")
+		par       = flag.Int("parallel", 0, "worker count for parallel stages (<=0 = all cores, 1 = serial)")
+		compare   = flag.Bool("compare-serial", false, "after the run, repeat with -parallel 1 and print a wall-clock speedup table")
 	)
 	flag.Parse()
 
@@ -68,7 +72,7 @@ func main() {
 		}
 	}
 	if needEnv {
-		cfg := experiments.EnvConfig{Sites: *sites, Intervals: *intervals, Seed: *seed, TunnelsPerFlow: *tunnels}
+		cfg := experiments.EnvConfig{Sites: *sites, Intervals: *intervals, Seed: *seed, TunnelsPerFlow: *tunnels, Parallelism: *par}
 		if *netKind == "lnet" || *netKind == "both" {
 			fmt.Fprintf(os.Stderr, "building L-Net environment (%d sites, %d intervals)...\n", *sites, *intervals)
 			env, err := experiments.NewLNet(cfg)
@@ -90,42 +94,63 @@ func main() {
 		}
 	}
 
-	out := os.Stdout
-	start := time.Now()
-	run := func(id string, fn func() error) {
-		if !want[id] {
-			return
+	pass := func(out io.Writer, sw *metrics.Stopwatch, verbose bool) {
+		run := func(id string, fn func() error) {
+			if !want[id] {
+				return
+			}
+			t0 := time.Now()
+			if verbose {
+				fmt.Fprintf(os.Stderr, "running %s...\n", id)
+			}
+			if err := fn(); err != nil {
+				fatalf("%s: %v", id, err)
+			}
+			d := time.Since(t0)
+			sw.Record(id, d)
+			if verbose {
+				fmt.Fprintf(os.Stderr, "  %s done in %v\n", id, d.Round(time.Millisecond))
+			}
+			fmt.Fprintln(out)
 		}
-		t0 := time.Now()
-		fmt.Fprintf(os.Stderr, "running %s...\n", id)
-		if err := fn(); err != nil {
-			fatalf("%s: %v", id, err)
+
+		run("fig2to5", func() error { return experiments.Fig2to5(out) })
+		run("fig6", func() error { experiments.Fig6(out); return nil })
+		run("fig11", func() error { return experiments.Fig11(out) })
+		for _, env := range envs {
+			env := env
+			run("fig1a", func() error { _, err := experiments.Fig1a(env, out); return err })
+			run("fig1b", func() error { _, err := experiments.Fig1b(env, out); return err })
+			run("fig12", func() error { _, err := experiments.Fig12(env, out); return err })
+			run("table2", func() error { _, err := experiments.Table2(env, out); return err })
+			run("fig13", func() error { _, err := experiments.Fig13(env, out, nil, nil); return err })
+			run("fig14", func() error {
+				_, err := experiments.Fig14(env, out, faults.Realistic())
+				return err
+			})
+			run("fig15", func() error { _, err := experiments.Fig15(env, out, nil, 0); return err })
+			run("fig16", func() error { _, err := experiments.Fig16(env, out, 0); return err })
+			run("ablation_encoding", func() error { _, err := experiments.AblationEncoding(env, out); return err })
+			run("ablation_tunnels", func() error { _, err := experiments.AblationTunnels(env, out); return err })
+			run("ablation_rescaling", func() error { _, err := experiments.AblationRescaling(env, out); return err })
 		}
-		fmt.Fprintf(os.Stderr, "  %s done in %v\n", id, time.Since(t0).Round(time.Millisecond))
-		fmt.Fprintln(out)
 	}
 
-	run("fig2to5", func() error { return experiments.Fig2to5(out) })
-	run("fig6", func() error { experiments.Fig6(out); return nil })
-	run("fig11", func() error { return experiments.Fig11(out) })
-	for _, env := range envs {
-		env := env
-		run("fig1a", func() error { _, err := experiments.Fig1a(env, out); return err })
-		run("fig1b", func() error { _, err := experiments.Fig1b(env, out); return err })
-		run("fig12", func() error { _, err := experiments.Fig12(env, out); return err })
-		run("table2", func() error { _, err := experiments.Table2(env, out); return err })
-		run("fig13", func() error { _, err := experiments.Fig13(env, out, nil, nil); return err })
-		run("fig14", func() error {
-			_, err := experiments.Fig14(env, out, faults.Realistic())
-			return err
-		})
-		run("fig15", func() error { _, err := experiments.Fig15(env, out, nil, 0); return err })
-		run("fig16", func() error { _, err := experiments.Fig16(env, out, 0); return err })
-		run("ablation_encoding", func() error { _, err := experiments.AblationEncoding(env, out); return err })
-		run("ablation_tunnels", func() error { _, err := experiments.AblationTunnels(env, out); return err })
-		run("ablation_rescaling", func() error { _, err := experiments.AblationRescaling(env, out); return err })
-	}
+	start := time.Now()
+	var parTimes metrics.Stopwatch
+	pass(os.Stdout, &parTimes, true)
 	fmt.Fprintf(os.Stderr, "all done in %v\n", time.Since(start).Round(time.Millisecond))
+
+	if *compare {
+		fmt.Fprintln(os.Stderr, "re-running serially (-parallel 1) for the speedup table...")
+		for _, env := range envs {
+			env.Parallelism = 1
+		}
+		var serTimes metrics.Stopwatch
+		pass(io.Discard, &serTimes, false)
+		fmt.Println("# wall-clock: serial vs parallel")
+		fmt.Print(metrics.RenderSpeedup(&serTimes, &parTimes))
+	}
 }
 
 func contains(xs []string, x string) bool {

@@ -38,12 +38,13 @@ func main() {
 		multi     = flag.Bool("multi", false, "multi-priority (§8.4) protection levels")
 		seed      = flag.Int64("seed", 1, "random seed")
 		mtbf      = flag.Duration("link-mtbf", 30*time.Minute, "network-wide link MTBF")
+		par       = flag.Int("parallel", 0, "worker count for parallel stages (<=0 = all cores, 1 = serial)")
 	)
 	flag.Parse()
 
 	var env *experiments.Env
 	var err error
-	cfg := experiments.EnvConfig{Sites: *sites, Intervals: *intervals, Seed: *seed}
+	cfg := experiments.EnvConfig{Sites: *sites, Intervals: *intervals, Seed: *seed, Parallelism: *par}
 	switch *netKind {
 	case "lnet":
 		env, err = experiments.NewLNet(cfg)
@@ -83,14 +84,11 @@ func main() {
 
 	fmt.Fprintf(os.Stderr, "simulating %s: %d switches, %d links, %d intervals, scale %.2g, %s model...\n",
 		env.Name, env.Net.NumSwitches(), env.Net.NumLinks(), *intervals, *scale, sw.Name)
-	base, err := sim.Run(sc, baseCfg)
+	res, err := sim.RunMany(sc, []sim.RunConfig{baseCfg, ffcCfg})
 	if err != nil {
-		fatalf("baseline: %v", err)
+		fatalf("%v", err)
 	}
-	ffcRes, err := sim.Run(sc, ffcCfg)
-	if err != nil {
-		fatalf("ffc: %v", err)
-	}
+	base, ffcRes := res[0], res[1]
 
 	tab := metrics.NewTable("metric", "non-FFC", "FFC", "ratio")
 	row := func(name string, b, f float64) {

@@ -36,6 +36,7 @@ func main() {
 		encoding   = flag.String("encoding", "sortnet", "bounded M-sum encoding: sortnet, compact, naive")
 		objective  = flag.String("objective", "throughput", "objective: throughput, mlu, maxmin")
 		verifyFlag = flag.Bool("verify", false, "exhaustively verify the guarantee (small networks)")
+		par        = flag.Int("parallel", 0, "verification workers (<=0 = all cores, 1 = serial)")
 	)
 	flag.Parse()
 	if *topoPath == "" || *demPath == "" {
@@ -99,11 +100,11 @@ func main() {
 	}
 
 	if *verifyFlag {
-		if v := core.VerifyDataPlane(&net, set, st, prot.Ke, prot.Kv, nil); v != nil {
+		if v := core.VerifyDataPlaneN(&net, set, st, prot.Ke, prot.Kv, nil, *par); v != nil {
 			fatalf("verification failed (data plane): %+v", v)
 		}
 		if prot.Kc > 0 {
-			if v := core.VerifyControlPlane(&net, set, st, prev, prot.Kc, opts.RateLimiter, nil); v != nil {
+			if v := core.VerifyControlPlaneN(&net, set, st, prev, prot.Kc, opts.RateLimiter, nil, *par); v != nil {
 				fatalf("verification failed (control plane): %+v", v)
 			}
 		}

@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"ffc/internal/lp"
+	"ffc/internal/parallel"
 	"ffc/internal/sortnet"
 	"ffc/internal/topology"
 	"ffc/internal/tunnel"
@@ -100,9 +101,18 @@ func (b *builder) demandFFC(u DemandUncertainty) error {
 // VerifyDemandUncertainty enumerates every set of up to count flows sending
 // factor × their planned rate (everyone else at plan) and returns the worst
 // overload, or nil when the state is robust. Exponential in count; for
-// tests and small networks.
+// tests and small networks. Cases are verified across all cores; use
+// VerifyDemandUncertaintyN to bound the worker count.
 func VerifyDemandUncertainty(net *topology.Network, tun *tunnel.Set, st *State,
 	count int, factor float64, capacity map[topology.LinkID]float64) *Violation {
+	return VerifyDemandUncertaintyN(net, tun, st, count, factor, capacity, 0)
+}
+
+// VerifyDemandUncertaintyN is VerifyDemandUncertainty sharded over workers
+// goroutines (≤ 0 means all cores); misprediction sets are the sharding
+// unit and the reduction preserves serial enumeration order.
+func VerifyDemandUncertaintyN(net *topology.Network, tun *tunnel.Set, st *State,
+	count int, factor float64, capacity map[topology.LinkID]float64, workers int) *Violation {
 
 	flows := make([]tunnel.Flow, 0, len(st.Rate))
 	for f := range st.Rate {
@@ -131,8 +141,15 @@ func VerifyDemandUncertainty(net *topology.Network, tun *tunnel.Set, st *State,
 			}
 		}
 	}
-	var worst *Violation
-	forEachComboUpTo(len(flows), count, func(sel []int) {
+	cases := combosUpTo(len(flows), count)
+	worst := make([]*Violation, len(cases))
+	parallel.ForEach(len(cases), verifyShardWorkers(workers, len(cases)), func(ci int) {
+		sel := cases[ci]
+		overdriven := make([]tunnel.Flow, len(sel))
+		for i, fi := range sel {
+			overdriven[i] = flows[fi]
+		}
+		var local *Violation
 		for _, l := range net.Links {
 			load := base[l.ID]
 			for _, i := range sel {
@@ -144,12 +161,13 @@ func VerifyDemandUncertainty(net *topology.Network, tun *tunnel.Set, st *State,
 					c = o
 				}
 			}
-			if over := load - c; over > 1e-6 {
-				if worst == nil || over > worst.Over {
-					worst = &Violation{Case: fmt.Sprintf("overdriven=%v", sel), Link: l.ID, Over: over}
+			if overThreshold(load, c) {
+				if over := load - c; local == nil || over > local.Over {
+					local = &Violation{Case: fmt.Sprintf("overdriven=%v", overdriven), Link: l.ID, Over: over}
 				}
 			}
 		}
+		worst[ci] = local
 	})
-	return worst
+	return reduceWorst(worst)
 }

@@ -85,7 +85,7 @@ func (s *Solver) SolveMaxMin(in Input, alpha, u0 float64) (*MaxMinResult, error)
 				continue
 			}
 			cap := math.Min(d, bound)
-			if st.Rate[f] < cap-1e-7 {
+			if overThreshold(cap, st.Rate[f]) {
 				frozen[f] = st.Rate[f]
 			} else if d <= bound {
 				frozen[f] = st.Rate[f] // demand fully satisfied

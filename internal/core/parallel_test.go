@@ -1,0 +1,151 @@
+package core
+
+import (
+	"math/rand"
+	"reflect"
+	"sync"
+	"testing"
+
+	"ffc/internal/demand"
+	"ffc/internal/topology"
+	"ffc/internal/tunnel"
+)
+
+func TestOverThreshold(t *testing.T) {
+	// The slack is relative on large capacities: 1e-5 of round-off on a
+	// 1e6-capacity link is not a violation...
+	if overThreshold(1e6+1e-5, 1e6) {
+		t.Fatal("1e-5 over a 1e6 capacity must be within tolerance")
+	}
+	// ...but the same absolute excess on a unit-capacity link is.
+	if !overThreshold(1+1e-5, 1) {
+		t.Fatal("1e-5 over a unit capacity must be a violation")
+	}
+	if overThreshold(1+1e-7, 1) {
+		t.Fatal("1e-7 over a unit capacity must be within tolerance")
+	}
+	if overThreshold(0.5, 1) {
+		t.Fatal("under-capacity load flagged")
+	}
+}
+
+// snetFixture is a plain-TE S-Net state shared by the parallel-equivalence
+// tests and benchmarks; solving it once keeps -race runs fast. S-Net is
+// large enough (≈88 physical links, 12 ingresses, 132 flows) that every
+// verifier crosses the serialVerifyCases threshold and actually fans out.
+var snetOnce sync.Once
+var snetFx struct {
+	net    *topology.Network
+	tun    *tunnel.Set
+	states []*State
+	err    error
+}
+
+func snetStates(tb testing.TB) (*topology.Network, *tunnel.Set, []*State) {
+	tb.Helper()
+	snetOnce.Do(func() {
+		net := topology.SNet()
+		rng := rand.New(rand.NewSource(7))
+		series := demand.Generate(net, demand.Config{Intervals: 2}, rng)
+		var flows []tunnel.Flow
+		for f := range series[0] {
+			flows = append(flows, f)
+		}
+		tun := tunnel.Layout(net, flows, tunnel.LayoutConfig{})
+		solver := NewSolver(net, tun, Options{})
+		states := make([]*State, len(series))
+		for i, m := range series {
+			st, _, err := solver.Solve(Input{Demands: m})
+			if err != nil {
+				snetFx.err = err
+				return
+			}
+			states[i] = st
+		}
+		snetFx.net, snetFx.tun, snetFx.states = net, tun, states
+	})
+	if snetFx.err != nil {
+		tb.Fatalf("solving S-Net fixture: %v", snetFx.err)
+	}
+	return snetFx.net, snetFx.tun, snetFx.states
+}
+
+// tightCaps overrides every loaded link's capacity to 90% of its fault-free
+// load, guaranteeing violations for the verifiers to agree on.
+func tightCaps(tun *tunnel.Set, st *State) map[topology.LinkID]float64 {
+	caps := map[topology.LinkID]float64{}
+	for l, load := range st.LinkLoads(tun) {
+		if load > 0 {
+			caps[l] = 0.9 * load
+		}
+	}
+	return caps
+}
+
+func TestVerifyDataPlaneParallelMatchesSerial(t *testing.T) {
+	net, tun, sts := snetStates(t)
+	caps := tightCaps(tun, sts[0])
+	serial := VerifyDataPlaneN(net, tun, sts[0], 1, 1, caps, 1)
+	if serial == nil {
+		t.Fatal("fixture produced no violation; capacities not tight enough")
+	}
+	for _, w := range []int{2, 4, 8} {
+		if got := VerifyDataPlaneN(net, tun, sts[0], 1, 1, caps, w); !reflect.DeepEqual(serial, got) {
+			t.Fatalf("workers=%d: %+v, serial: %+v", w, got, serial)
+		}
+	}
+	// And both paths agree on the all-clear.
+	if v := VerifyDataPlaneN(net, tun, sts[0], 1, 0, nil, 8); v != nil {
+		if s := VerifyDataPlaneN(net, tun, sts[0], 1, 0, nil, 1); !reflect.DeepEqual(s, v) {
+			t.Fatalf("parallel %+v, serial %+v", v, s)
+		}
+	}
+}
+
+func TestVerifyControlPlaneParallelMatchesSerial(t *testing.T) {
+	net, tun, sts := snetStates(t)
+	caps := tightCaps(tun, sts[1])
+	for _, mode := range []RateLimiterMode{LimitersSynced, LimitersOrdered, LimitersIndependent} {
+		serial := VerifyControlPlaneN(net, tun, sts[1], sts[0], 2, mode, caps, 1)
+		if serial == nil {
+			t.Fatalf("mode %v: fixture produced no violation", mode)
+		}
+		for _, w := range []int{2, 4, 8} {
+			if got := VerifyControlPlaneN(net, tun, sts[1], sts[0], 2, mode, caps, w); !reflect.DeepEqual(serial, got) {
+				t.Fatalf("mode %v workers=%d: %+v, serial: %+v", mode, w, got, serial)
+			}
+		}
+	}
+}
+
+func TestVerifyDemandUncertaintyParallelMatchesSerial(t *testing.T) {
+	net, tun, sts := snetStates(t)
+	caps := tightCaps(tun, sts[0])
+	serial := VerifyDemandUncertaintyN(net, tun, sts[0], 1, 2.0, caps, 1)
+	if serial == nil {
+		t.Fatal("fixture produced no violation")
+	}
+	for _, w := range []int{2, 4, 8} {
+		if got := VerifyDemandUncertaintyN(net, tun, sts[0], 1, 2.0, caps, w); !reflect.DeepEqual(serial, got) {
+			t.Fatalf("workers=%d: %+v, serial: %+v", w, got, serial)
+		}
+	}
+}
+
+// BenchmarkVerifyDataPlaneSNet compares the serial and parallel data-plane
+// verifier on S-Net at ke=2 (≈3900 fault cases). With GOMAXPROCS ≥ 4 the
+// parallel variant should be ≥ 2× faster; on one core they tie.
+func BenchmarkVerifyDataPlaneSNet(b *testing.B) {
+	net, tun, sts := snetStates(b)
+	st := sts[0]
+	b.Run("serial", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			VerifyDataPlaneN(net, tun, st, 2, 0, nil, 1)
+		}
+	})
+	b.Run("parallel", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			VerifyDataPlaneN(net, tun, st, 2, 0, nil, 0)
+		}
+	})
+}

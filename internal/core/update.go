@@ -204,7 +204,7 @@ func (s *Solver) transitionSafe(history []*State, next *State, kc int) bool {
 		for i := 0; i < kc && i < len(excess); i++ {
 			top += excess[i]
 		}
-		if base+top > s.Net.Links[l.ID].Capacity+1e-7 {
+		if overThreshold(base+top, s.Net.Links[l.ID].Capacity) {
 			return false
 		}
 	}
@@ -294,7 +294,7 @@ func (s *Solver) planOneStep(history []*State, target *State, kc int) (*State, e
 		for v := range srcs {
 			srcList = append(srcList, v)
 		}
-		sortSwitchIDs(srcList)
+		sort.Slice(srcList, func(i, j int) bool { return srcList[i] < srcList[j] })
 
 		base := lp.NewExpr() // Σ_v M_v with M_v ≥ max(cur, next)
 		var excess []*lp.Expr

@@ -3,7 +3,9 @@ package core
 import (
 	"fmt"
 	"math"
+	"sort"
 
+	"ffc/internal/parallel"
 	"ffc/internal/topology"
 	"ffc/internal/tunnel"
 )
@@ -16,52 +18,129 @@ type Violation struct {
 	Over float64
 }
 
+// overThreshold is the single overload-tolerance comparison shared by every
+// verifier and planner: load counts as exceeding cap only beyond
+// 1e-6·max(1, cap), so solver round-off on large-capacity links doesn't
+// trip false violations (an absolute cutoff would).
+func overThreshold(load, cap float64) bool {
+	return load-cap > 1e-6*math.Max(1, cap)
+}
+
+// serialVerifyCases is the sharding-unit count below which the verifiers
+// stay on the serial path — fanning a handful of cases over a worker pool
+// costs more than it saves.
+const serialVerifyCases = 64
+
+// verifyShardWorkers picks the worker count for nCases sharding units.
+func verifyShardWorkers(workers, nCases int) int {
+	if nCases < serialVerifyCases {
+		return 1
+	}
+	return parallel.Workers(workers)
+}
+
+// combosUpTo materializes every index combination of size 0..k over [0,n)
+// in enumeration order — the verifiers' sharding unit. The slice is
+// proportional to the number of fault cases, which the per-case load
+// computation dominates anyway.
+func combosUpTo(n, k int) [][]int {
+	var out [][]int
+	forEachComboUpTo(n, k, func(sel []int) {
+		out = append(out, append([]int(nil), sel...))
+	})
+	return out
+}
+
+// reduceWorst folds per-shard worst violations in shard order with the
+// strictly-greater rule the serial scan uses, so the parallel verifiers
+// return the exact violation the serial enumeration would.
+func reduceWorst(vs []*Violation) *Violation {
+	var worst *Violation
+	for _, v := range vs {
+		if v != nil && (worst == nil || v.Over > worst.Over) {
+			worst = v
+		}
+	}
+	return worst
+}
+
 // VerifyDataPlane enumerates every fault case with up to ke physical link
 // failures and kv switch failures, applies ingress rescaling, and returns
 // the worst overload found (nil if the state is congestion-free in all
 // cases — the guarantee of Lemma 1). Exponential in (ke, kv); intended for
-// tests and small networks.
+// tests and small networks. Cases are verified across all cores; use
+// VerifyDataPlaneN to bound the worker count.
 func VerifyDataPlane(net *topology.Network, tun *tunnel.Set, st *State, ke, kv int, capacity map[topology.LinkID]float64) *Violation {
+	return VerifyDataPlaneN(net, tun, st, ke, kv, capacity, 0)
+}
+
+// VerifyDataPlaneN is VerifyDataPlane sharded over workers goroutines
+// (≤ 0 means all cores). Link-failure combinations are the sharding unit;
+// each worker keeps its own load buffers and a local worst violation, and
+// the per-shard results are reduced in enumeration order, so the outcome is
+// identical to the serial enumeration regardless of worker count.
+func VerifyDataPlaneN(net *topology.Network, tun *tunnel.Set, st *State, ke, kv int, capacity map[topology.LinkID]float64, workers int) *Violation {
 	links := physicalLinks(net)
-	var switches []topology.SwitchID
+	switches := make([]topology.SwitchID, 0, len(net.Switches))
 	for _, sw := range net.Switches {
 		switches = append(switches, sw.ID)
 	}
-	var worst *Violation
-	forEachComboUpTo(len(links), ke, func(li []int) {
-		down := map[topology.LinkID]bool{}
-		for _, i := range li {
-			down[links[i]] = true
-			if tw := net.Links[links[i]].Twin; tw != topology.None {
-				down[tw] = true
+	cases := combosUpTo(len(links), ke)
+	w := verifyShardWorkers(workers, len(cases))
+
+	type buffers struct {
+		down  map[topology.LinkID]bool
+		loads map[topology.LinkID]float64
+	}
+	bufs := make([]buffers, w)
+	worst := make([]*Violation, len(cases))
+	parallel.ForEachWorker(len(cases), w, func(worker, ci int) {
+		b := &bufs[worker]
+		if b.down == nil {
+			b.down = map[topology.LinkID]bool{}
+			b.loads = map[topology.LinkID]float64{}
+		}
+		clear(b.down)
+		li := cases[ci]
+		linkIDs := make([]topology.LinkID, len(li))
+		for i, idx := range li {
+			linkIDs[i] = links[idx]
+			b.down[links[idx]] = true
+			if tw := net.Links[links[idx]].Twin; tw != topology.None {
+				b.down[tw] = true
 			}
 		}
+		var local *Violation
 		forEachComboUpTo(len(switches), kv, func(si []int) {
-			downSw := map[topology.SwitchID]bool{}
-			for _, i := range si {
-				downSw[switches[i]] = true
+			downSw := make(map[topology.SwitchID]bool, len(si))
+			swIDs := make([]topology.SwitchID, len(si))
+			for i, idx := range si {
+				swIDs[i] = switches[idx]
+				downSw[switches[idx]] = true
 			}
-			v := checkRescaledLoads(net, tun, st, down, downSw, capacity)
+			v := checkRescaledLoads(net, tun, st, b.down, downSw, capacity, b.loads)
 			if v != nil {
-				v.Case = fmt.Sprintf("links=%v switches=%v", li, si)
-				if worst == nil || v.Over > worst.Over {
-					worst = v
+				v.Case = fmt.Sprintf("links=%v switches=%v", linkIDs, swIDs)
+				if local == nil || v.Over > local.Over {
+					local = v
 				}
 			}
 		})
+		worst[ci] = local
 	})
-	return worst
+	return reduceWorst(worst)
 }
 
 // checkRescaledLoads computes per-link load after every ingress rescales
 // around the fault sets, skipping links that are themselves down, and
 // returns the worst overload (nil if none). Flows whose ingress or egress
-// switch failed send nothing.
+// switch failed send nothing. loads is the caller's scratch buffer (cleared
+// here), so repeated case checks don't reallocate it.
 func checkRescaledLoads(net *topology.Network, tun *tunnel.Set, st *State,
 	down map[topology.LinkID]bool, downSw map[topology.SwitchID]bool,
-	capacity map[topology.LinkID]float64) *Violation {
+	capacity map[topology.LinkID]float64, loads map[topology.LinkID]float64) *Violation {
 
-	loads := map[topology.LinkID]float64{}
+	clear(loads)
 	for _, f := range tun.All() {
 		rate := st.Rate[f]
 		if rate == 0 || downSw[f.Src] || downSw[f.Dst] {
@@ -89,8 +168,8 @@ func checkRescaledLoads(net *topology.Network, tun *tunnel.Set, st *State,
 				c = o
 			}
 		}
-		if over := load - c; over > 1e-6*math.Max(1, c) {
-			if worst == nil || over > worst.Over {
+		if overThreshold(load, c) {
+			if over := load - c; worst == nil || over > worst.Over {
 				worst = &Violation{Link: l, Over: over}
 			}
 		}
@@ -102,9 +181,20 @@ func checkRescaledLoads(net *topology.Network, tun *tunnel.Set, st *State,
 // configuration update fails. A failed switch keeps old tunnel-splitting
 // weights per the rate-limiter mode; per-flow the adversary picks whichever
 // of old/new behavior loads each link more (a sound upper bound on any
-// realizable combination). Returns the worst overload, or nil.
+// realizable combination). Returns the worst overload, or nil. Cases are
+// verified across all cores; use VerifyControlPlaneN to bound the worker
+// count.
 func VerifyControlPlane(net *topology.Network, tun *tunnel.Set, newSt, oldSt *State,
 	kc int, mode RateLimiterMode, capacity map[topology.LinkID]float64) *Violation {
+	return VerifyControlPlaneN(net, tun, newSt, oldSt, kc, mode, capacity, 0)
+}
+
+// VerifyControlPlaneN is VerifyControlPlane sharded over workers goroutines
+// (≤ 0 means all cores); stale-switch-set combinations are the sharding
+// unit and the reduction preserves serial enumeration order, so the result
+// is identical at any worker count.
+func VerifyControlPlaneN(net *topology.Network, tun *tunnel.Set, newSt, oldSt *State,
+	kc int, mode RateLimiterMode, capacity map[topology.LinkID]float64, workers int) *Violation {
 
 	// Per-link per-source contributions under "updated" and "stale".
 	type key struct {
@@ -144,14 +234,19 @@ func VerifyControlPlane(net *topology.Network, tun *tunnel.Set, newSt, oldSt *St
 	for v := range srcSet {
 		srcs = append(srcs, v)
 	}
-	sortSwitchIDs(srcs)
+	sort.Slice(srcs, func(i, j int) bool { return srcs[i] < srcs[j] })
 
-	var worst *Violation
-	forEachComboUpTo(len(srcs), kc, func(sel []int) {
-		failed := map[topology.SwitchID]bool{}
-		for _, i := range sel {
-			failed[srcs[i]] = true
+	cases := combosUpTo(len(srcs), kc)
+	worst := make([]*Violation, len(cases))
+	parallel.ForEach(len(cases), verifyShardWorkers(workers, len(cases)), func(ci int) {
+		sel := cases[ci]
+		failed := make(map[topology.SwitchID]bool, len(sel))
+		failedIDs := make([]topology.SwitchID, len(sel))
+		for i, idx := range sel {
+			failedIDs[i] = srcs[idx]
+			failed[srcs[idx]] = true
 		}
+		var local *Violation
 		for _, l := range net.Links {
 			var load float64
 			for _, v := range srcs {
@@ -167,14 +262,15 @@ func VerifyControlPlane(net *topology.Network, tun *tunnel.Set, newSt, oldSt *St
 					c = o
 				}
 			}
-			if over := load - c; over > 1e-6*math.Max(1, c) {
-				if worst == nil || over > worst.Over {
-					worst = &Violation{Case: fmt.Sprintf("failed=%v link=%d", sel, l.ID), Link: l.ID, Over: over}
+			if overThreshold(load, c) {
+				if over := load - c; local == nil || over > local.Over {
+					local = &Violation{Case: fmt.Sprintf("failed=%v link=%d", failedIDs, l.ID), Link: l.ID, Over: over}
 				}
 			}
 		}
+		worst[ci] = local
 	})
-	return worst
+	return reduceWorst(worst)
 }
 
 func physicalLinks(net *topology.Network) []topology.LinkID {
@@ -185,14 +281,6 @@ func physicalLinks(net *topology.Network) []topology.LinkID {
 		}
 	}
 	return out
-}
-
-func sortSwitchIDs(s []topology.SwitchID) {
-	for i := 1; i < len(s); i++ {
-		for j := i; j > 0 && s[j] < s[j-1]; j-- {
-			s[j], s[j-1] = s[j-1], s[j]
-		}
-	}
 }
 
 // forEachComboUpTo calls fn with every index combination of size 0..k.

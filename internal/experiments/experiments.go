@@ -21,6 +21,7 @@ import (
 	"ffc/internal/demand"
 	"ffc/internal/faults"
 	"ffc/internal/metrics"
+	"ffc/internal/parallel"
 	"ffc/internal/sim"
 	"ffc/internal/topology"
 	"ffc/internal/tunnel"
@@ -35,6 +36,9 @@ type Env struct {
 	Scale1 float64       // multiplier defining traffic scale 1.0
 	Seed   int64
 	Opts   core.Options
+	// Parallelism bounds the per-figure worker pools (see
+	// EnvConfig.Parallelism). Mutable between figure runs.
+	Parallelism int
 }
 
 // EnvConfig sizes an environment.
@@ -43,8 +47,12 @@ type EnvConfig struct {
 	Sites int
 	// Intervals in the demand series. Default 24.
 	Intervals int
-	// Seed for all generation. Default 1.
+	// Seed for all generation. A zero Seed defaults to 1 unless SeedSet
+	// marks it as explicitly requested.
 	Seed int64
+	// SeedSet distinguishes "seed 0" from "Seed left unset": without it
+	// the zero value is rewritten to the default of 1.
+	SeedSet bool
 	// Encoding for the big sweeps. Default core.Compact — identical
 	// optima to the paper's sorting network at a fraction of the LP size
 	// (the ablation experiment quantifies the difference; SortNet remains
@@ -52,6 +60,12 @@ type EnvConfig struct {
 	Encoding core.Encoding
 	// TunnelsPerFlow for the (1,3) link-switch disjoint layout. Default 6.
 	TunnelsPerFlow int
+	// Parallelism bounds the worker count for the harness's independent
+	// TE intervals and scenario replays. ≤ 0 means all cores
+	// (runtime.GOMAXPROCS(0)); 1 forces the serial path. Results are
+	// bit-identical at any setting (per-interval RNG seeds are derived
+	// with faults.DeriveSeed).
+	Parallelism int
 }
 
 func (c *EnvConfig) fill() {
@@ -61,7 +75,7 @@ func (c *EnvConfig) fill() {
 	if c.Intervals == 0 {
 		c.Intervals = 24
 	}
-	if c.Seed == 0 {
+	if c.Seed == 0 && !c.SeedSet {
 		c.Seed = 1
 	}
 	if c.TunnelsPerFlow == 0 {
@@ -80,7 +94,7 @@ func buildEnv(name string, net *topology.Network, cfg EnvConfig) (*Env, error) {
 	if err != nil {
 		return nil, fmt.Errorf("experiments: calibrating %s: %w", name, err)
 	}
-	return &Env{Name: name, Net: net, Tun: tun, Series: series, Scale1: scale1, Seed: cfg.Seed, Opts: opts}, nil
+	return &Env{Name: name, Net: net, Tun: tun, Series: series, Scale1: scale1, Seed: cfg.Seed, Opts: opts, Parallelism: cfg.Parallelism}, nil
 }
 
 // NewLNet builds the L-Net-like environment.
@@ -101,11 +115,12 @@ func NewSNet(cfg EnvConfig) (*Env, error) {
 func (e *Env) Scenario(scale float64, model faults.SwitchModel) sim.Scenario {
 	return sim.Scenario{
 		Net: e.Net, Tun: e.Tun,
-		Series:   sim.ScaleSeries(e.Series, e.Scale1*scale),
-		Interval: 5 * time.Minute,
-		Failures: faults.LNetFailures(),
-		Switches: model,
-		Seed:     e.Seed + 1000,
+		Series:      sim.ScaleSeries(e.Series, e.Scale1*scale),
+		Interval:    5 * time.Minute,
+		Failures:    faults.LNetFailures(),
+		Switches:    model,
+		Seed:        e.Seed + 1000,
+		Parallelism: e.Parallelism,
 	}
 }
 
@@ -190,32 +205,56 @@ type Fig12Row struct {
 // Fig12 measures FFC's throughput overhead in isolation: per interval,
 // solve plain TE and FFC TE on identical demands (no faults injected, no
 // carryover) and report 1 − (FFC throughput / plain throughput).
+//
+// Intervals are independent here (the FFC solve's Prev is the previous
+// interval's plain-TE state, itself computed without carryover), so both
+// the shared plain-TE baselines and each protection level's sweep fan out
+// over e.Parallelism workers; the simplex is deterministic per input, so
+// the rows are identical to a serial run.
 func Fig12(e *Env, w io.Writer) ([]Fig12Row, error) {
 	var rows []Fig12Row
 	solver := core.NewSolver(e.Net, e.Tun, e.Opts)
+	scales := []float64{0.5, 1, 2}
+
+	// Plain-TE baselines per scale, shared by every protection level.
+	scaled := map[float64]demand.Series{}
+	baseStates := map[float64][]*core.State{}
+	for _, scale := range scales {
+		series := sim.ScaleSeries(e.Series, e.Scale1*scale)
+		states := make([]*core.State, len(series))
+		errs := make([]error, len(series))
+		parallel.ForEach(len(series), e.Parallelism, func(t int) {
+			states[t], _, errs[t] = solver.Solve(core.Input{Demands: series[t]})
+		})
+		if err := parallel.FirstError(errs); err != nil {
+			return nil, err
+		}
+		scaled[scale], baseStates[scale] = series, states
+	}
 
 	overheads := func(prot func(k int) core.Protection, plane string, ks []int) error {
-		for _, scale := range []float64{0.5, 1, 2} {
-			series := sim.ScaleSeries(e.Series, e.Scale1*scale)
+		for _, scale := range scales {
+			series, base := scaled[scale], baseStates[scale]
 			for _, k := range ks {
-				var dist metrics.Dist
-				prev := core.NewState()
-				for _, m := range series {
-					base, _, err := solver.Solve(core.Input{Demands: m})
-					if err != nil {
-						return err
+				overheadPct := make([]float64, len(series))
+				parallel.ForEach(len(series), e.Parallelism, func(t int) {
+					prev := core.NewState()
+					if t > 0 {
+						prev = base[t-1]
 					}
-					in := core.Input{Demands: m, Prot: prot(k), Prev: prev}
+					in := core.Input{Demands: series[t], Prot: prot(k), Prev: prev}
 					ffc, _, err := solver.Solve(in)
 					if err != nil {
 						// Infeasible at this protection level: total loss
 						// of throughput for the interval.
-						dist.Add(100)
-						prev = base
-						continue
+						overheadPct[t] = 100
+						return
 					}
-					dist.Add(100 * (1 - metrics.SafeRatio(ffc.TotalRate(), base.TotalRate(), 1)))
-					prev = base
+					overheadPct[t] = 100 * (1 - metrics.SafeRatio(ffc.TotalRate(), base[t].TotalRate(), 1))
+				})
+				var dist metrics.Dist
+				for _, v := range overheadPct {
+					dist.Add(v)
 				}
 				rows = append(rows, Fig12Row{
 					Plane: plane, Scale: scale, K: k,
@@ -258,7 +297,12 @@ type Table2Row struct {
 
 // Table2 benchmarks TE computation time for FFC (3,3,0)∪(3,0,1) (which the
 // (1,3)-disjoint layout provides via the Eqn 15 slack), FFC (2,1,0), and
-// plain TE, averaged over the series' intervals.
+// plain TE, averaged over the series' intervals. The three configurations
+// are independent and run across e.Parallelism workers (each one's
+// intervals chain through its previous state, so they stay serial within a
+// configuration); per-solve times are measured inside Solve, but expect
+// some wall-clock contention when comparing absolute numbers across
+// parallel runs.
 func Table2(e *Env, w io.Writer) ([]Table2Row, error) {
 	solver := core.NewSolver(e.Net, e.Tun, e.Opts)
 	series := sim.ScaleSeries(e.Series, e.Scale1)
@@ -274,8 +318,10 @@ func Table2(e *Env, w io.Writer) ([]Table2Row, error) {
 		{"FFC (2,1,0)", core.Protection{Kc: 2, Ke: 1}},
 		{"Non-FFC", core.None},
 	}
-	var rows []Table2Row
-	for _, cfg := range configs {
+	rows := make([]Table2Row, len(configs))
+	errs := make([]error, len(configs))
+	parallel.ForEach(len(configs), e.Parallelism, func(ci int) {
+		cfg := configs[ci]
 		var total time.Duration
 		var vars, cons int
 		prev := core.NewState()
@@ -286,13 +332,17 @@ func Table2(e *Env, w io.Writer) ([]Table2Row, error) {
 			}
 			st, stats, err := solver.Solve(in)
 			if err != nil {
-				return nil, fmt.Errorf("table2 %s: %w", cfg.name, err)
+				errs[ci] = fmt.Errorf("table2 %s: %w", cfg.name, err)
+				return
 			}
 			total += stats.SolveTime
 			vars, cons = stats.Vars, stats.Constraints
 			prev = st
 		}
-		rows = append(rows, Table2Row{e.Name, cfg.name, total / time.Duration(n), vars, cons})
+		rows[ci] = Table2Row{e.Name, cfg.name, total / time.Duration(n), vars, cons}
+	})
+	if err := parallel.FirstError(errs); err != nil {
+		return nil, err
 	}
 	fmt.Fprintf(w, "## Table 2 — %s: TE computation time\n", e.Name)
 	tab := metrics.NewTable("network", "config", "mean-time", "vars", "constraints")
@@ -323,18 +373,34 @@ func Fig13(e *Env, w io.Writer, models []faults.SwitchModel, scales []float64) (
 	if len(scales) == 0 {
 		scales = []float64{0.5, 1, 2}
 	}
-	var rows []Fig13Row
+	// Every (model, scale) pair needs a baseline and an FFC replay of the
+	// same scenario; all of them are independent, so they fan out together.
+	type job struct {
+		sc  sim.Scenario
+		cfg sim.RunConfig
+	}
+	var jobs []job
 	for _, model := range models {
 		for _, scale := range scales {
 			sc := e.Scenario(scale, model)
-			base, err := sim.Run(sc, sim.RunConfig{SolverOpts: e.Opts})
-			if err != nil {
-				return nil, err
-			}
-			ffc, err := sim.Run(sc, sim.RunConfig{Prot: core.Protection{Kc: 2, Ke: 1}, SolverOpts: e.Opts})
-			if err != nil {
-				return nil, err
-			}
+			jobs = append(jobs, job{sc, sim.RunConfig{SolverOpts: e.Opts}})
+			jobs = append(jobs, job{sc, sim.RunConfig{Prot: core.Protection{Kc: 2, Ke: 1}, SolverOpts: e.Opts}})
+		}
+	}
+	results := make([]*sim.Result, len(jobs))
+	errs := make([]error, len(jobs))
+	parallel.ForEach(len(jobs), e.Parallelism, func(i int) {
+		results[i], errs[i] = sim.Run(jobs[i].sc, jobs[i].cfg)
+	})
+	if err := parallel.FirstError(errs); err != nil {
+		return nil, err
+	}
+	var rows []Fig13Row
+	i := 0
+	for _, model := range models {
+		for _, scale := range scales {
+			base, ffc := results[i], results[i+1]
+			i += 2
 			rows = append(rows, Fig13Row{
 				Model: model.Name, Scale: scale,
 				ThroughputRatio: ffc.ThroughputRatioVs(base),
@@ -377,14 +443,16 @@ func Fig14(e *Env, w io.Writer, model faults.SwitchModel) ([]Fig14Row, error) {
 	multiProt.Prot[demand.Low] = core.None
 	multiBase := &sim.PriorityConfig{Splits: splits} // all classes unprotected
 
-	base, err := sim.Run(sc, sim.RunConfig{Multi: multiBase, SolverOpts: e.Opts})
+	// The protected and baseline cascades replay the same scenario
+	// independently; RunMany runs them concurrently.
+	res, err := sim.RunMany(sc, []sim.RunConfig{
+		{Multi: multiBase, SolverOpts: e.Opts},
+		{Multi: multiProt, SolverOpts: e.Opts},
+	})
 	if err != nil {
 		return nil, err
 	}
-	ffc, err := sim.Run(sc, sim.RunConfig{Multi: multiProt, SolverOpts: e.Opts})
-	if err != nil {
-		return nil, err
-	}
+	base, ffc := res[0], res[1]
 
 	classes := []demand.Priority{demand.High, demand.Med, demand.Low}
 	var rows []Fig14Row
@@ -430,19 +498,36 @@ func Fig15(e *Env, w io.Writer, scales []float64, maxKe int) ([]Fig15Point, erro
 	if maxKe == 0 {
 		maxKe = 3
 	}
-	var pts []Fig15Point
+	// One baseline plus maxKe protected replays per scale, all independent.
+	type job struct {
+		sc  sim.Scenario
+		cfg sim.RunConfig
+	}
+	var jobs []job
 	for _, scale := range scales {
 		sc := e.Scenario(scale, faults.Realistic())
-		base, err := sim.Run(sc, sim.RunConfig{SolverOpts: e.Opts})
-		if err != nil {
-			return nil, err
+		jobs = append(jobs, job{sc, sim.RunConfig{SolverOpts: e.Opts}})
+		for ke := 1; ke <= maxKe; ke++ {
+			jobs = append(jobs, job{sc, sim.RunConfig{Prot: core.Protection{Ke: ke}, SolverOpts: e.Opts}})
 		}
+	}
+	results := make([]*sim.Result, len(jobs))
+	errs := make([]error, len(jobs))
+	parallel.ForEach(len(jobs), e.Parallelism, func(i int) {
+		results[i], errs[i] = sim.Run(jobs[i].sc, jobs[i].cfg)
+	})
+	if err := parallel.FirstError(errs); err != nil {
+		return nil, err
+	}
+	var pts []Fig15Point
+	i := 0
+	for _, scale := range scales {
+		base := results[i]
+		i++
 		pts = append(pts, Fig15Point{Scale: scale, Ke: 0, ThroughputRatio: 100, LossRatio: 100})
 		for ke := 1; ke <= maxKe; ke++ {
-			ffc, err := sim.Run(sc, sim.RunConfig{Prot: core.Protection{Ke: ke}, SolverOpts: e.Opts})
-			if err != nil {
-				return nil, err
-			}
+			ffc := results[i]
+			i++
 			pts = append(pts, Fig15Point{
 				Scale: scale, Ke: ke,
 				ThroughputRatio: 100 * ffc.ThroughputRatioVs(base),

@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"io"
+	"reflect"
 	"strings"
 	"testing"
 
@@ -268,5 +269,65 @@ func TestAblationRescalingSandwich(t *testing.T) {
 	}
 	if ffc <= 0 {
 		t.Fatal("FFC got nothing")
+	}
+}
+
+func TestEnvConfigSeedSentinel(t *testing.T) {
+	c := EnvConfig{}
+	c.fill()
+	if c.Seed != 1 {
+		t.Fatalf("unset seed = %d, want default 1", c.Seed)
+	}
+	c = EnvConfig{SeedSet: true}
+	c.fill()
+	if c.Seed != 0 {
+		t.Fatalf("explicit seed 0 rewritten to %d", c.Seed)
+	}
+	c = EnvConfig{Seed: 5}
+	c.fill()
+	if c.Seed != 5 {
+		t.Fatalf("seed 5 rewritten to %d", c.Seed)
+	}
+}
+
+// TestFiguresParallelMatchSerial reruns the sharded figures at several
+// worker counts and requires byte-identical results: per-interval RNG
+// derivation and in-order reductions make worker count invisible.
+func TestFiguresParallelMatchSerial(t *testing.T) {
+	e := tinyEnv(t)
+	e.Parallelism = 1
+	a1, err := Fig1a(e, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b1, err := Fig1b(e, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1, err := Fig12(e, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.Parallelism = 8
+	a8, err := Fig1a(e, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b8, err := Fig1b(e, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r8, err := Fig12(e, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a1, a8) {
+		t.Fatal("Fig1a differs between 1 and 8 workers")
+	}
+	if !reflect.DeepEqual(b1, b8) {
+		t.Fatal("Fig1b differs between 1 and 8 workers")
+	}
+	if !reflect.DeepEqual(r1, r8) {
+		t.Fatal("Fig12 differs between 1 and 8 workers")
 	}
 }

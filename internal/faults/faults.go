@@ -239,6 +239,22 @@ func (m FailureModel) sampleDown(rng *rand.Rand) int {
 	return lo + rng.Intn(hi-lo+1)
 }
 
+// DeriveSeed deterministically derives an independent RNG seed for one
+// shard (a TE interval, a scenario replay, ...) of a seeded computation.
+// Serial and parallel executions that seed each shard's generator with
+// DeriveSeed(base, shard) draw identical randomness per shard, which is
+// what makes the harness's parallel paths bit-identical to the serial
+// ones. The mix is SplitMix64 over the combined inputs.
+func DeriveSeed(base, shard int64) int64 {
+	z := uint64(base)*0x9e3779b97f4a7c15 + uint64(shard)*0xbf58476d1ce4e5b9 + 0x94d049bb133111eb
+	z ^= z >> 30
+	z *= 0xbf58476d1ce4e5b9
+	z ^= z >> 27
+	z *= 0x94d049bb133111eb
+	z ^= z >> 31
+	return int64(z)
+}
+
 // ExpectedLinkFailuresPerInterval is a convenience for tests/calibration.
 func (m FailureModel) ExpectedLinkFailuresPerInterval() float64 {
 	if m.LinkMTBF == 0 {

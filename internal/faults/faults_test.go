@@ -199,3 +199,23 @@ func TestMeanEstimate(t *testing.T) {
 		t.Fatalf("uniform mean %v, want ≈ 500ms", mean)
 	}
 }
+
+func TestDeriveSeedDeterministicAndDistinct(t *testing.T) {
+	if DeriveSeed(1, 5) != DeriveSeed(1, 5) {
+		t.Fatal("DeriveSeed not deterministic")
+	}
+	seen := map[int64]bool{}
+	for base := int64(0); base < 4; base++ {
+		for shard := int64(0); shard < 256; shard++ {
+			s := DeriveSeed(base, shard)
+			if seen[s] {
+				t.Fatalf("seed collision at base=%d shard=%d", base, shard)
+			}
+			seen[s] = true
+		}
+	}
+	// Seed 0 must be usable: shards of base 0 still get distinct streams.
+	if DeriveSeed(0, 0) == DeriveSeed(0, 1) {
+		t.Fatal("base-0 shards collide")
+	}
+}

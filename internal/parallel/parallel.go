@@ -1,0 +1,76 @@
+// Package parallel is the repository's small worker-pool layer: it fans a
+// fixed index space out over a bounded number of goroutines and collects
+// nothing — callers write results into their own slot of a pre-sized slice,
+// which keeps every parallel path bit-identical to its serial counterpart
+// (the reduction over slots happens in index order afterwards).
+//
+// The verifiers in internal/core shard fault-case enumeration through it,
+// and the experiment harness (internal/experiments, internal/sim) shards
+// independent TE intervals and scenario replays.
+package parallel
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Workers resolves a parallelism knob: values ≤ 0 mean "all cores"
+// (runtime.GOMAXPROCS(0)); positive values are used as given.
+func Workers(n int) int {
+	if n <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return n
+}
+
+// ForEach invokes fn(i) exactly once for every i in [0,n), fanned out over
+// Workers(w) goroutines. With one worker it runs inline in index order.
+// fn must confine its writes to per-index (or per-worker) state; results
+// written by slot are deterministic regardless of scheduling.
+func ForEach(n, w int, fn func(i int)) {
+	ForEachWorker(n, w, func(_, i int) { fn(i) })
+}
+
+// ForEachWorker is ForEach with the worker's identity passed to fn
+// (0 ≤ worker < effective worker count), so callers can reuse per-worker
+// scratch buffers across the indices a worker processes.
+func ForEachWorker(n, w int, fn func(worker, i int)) {
+	w = Workers(w)
+	if w > n {
+		w = n
+	}
+	if w <= 1 {
+		for i := 0; i < n; i++ {
+			fn(0, i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(w)
+	for g := 0; g < w; g++ {
+		go func(worker int) {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(worker, i)
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
+// FirstError returns the lowest-index non-nil error, mirroring what a
+// serial loop would have returned first (nil if none).
+func FirstError(errs []error) error {
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

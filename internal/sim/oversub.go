@@ -4,7 +4,9 @@ import (
 	"math/rand"
 
 	"ffc/internal/core"
+	"ffc/internal/faults"
 	"ffc/internal/metrics"
+	"ffc/internal/parallel"
 	"ffc/internal/topology"
 	"ffc/internal/tunnel"
 )
@@ -12,24 +14,20 @@ import (
 // OversubDataFaults reproduces Figure 1(a): for each interval, compute a TE
 // state (plain TE by default; pass prot for an FFC variant), fail nLinks
 // random physical links (or one switch when failSwitch is set), rescale,
-// and record the maximum link oversubscription percentage.
+// and record the maximum link oversubscription percentage. Intervals run
+// across sc.Parallelism workers; each draws its fault set from a
+// faults.DeriveSeed-derived RNG, so the distribution is bit-identical at
+// any worker count.
 func OversubDataFaults(sc Scenario, prot core.Protection, nLinks int, failSwitch bool) (*metrics.Dist, error) {
-	rng := rand.New(rand.NewSource(sc.Seed))
 	solver := core.NewSolver(sc.Net, sc.Tun, core.Options{})
-	var dist metrics.Dist
-	prev := core.NewState()
+	states, err := solveSeries(solver, sc, prot, sc.Parallelism)
+	if err != nil {
+		return nil, err
+	}
 	phys := physicalLinkIDs(sc.Net)
-	for _, m := range sc.Series {
-		in := core.Input{Demands: m, Prot: prot}
-		if prot.Kc > 0 {
-			in.Prev = prev
-		}
-		st, _, err := solver.Solve(in)
-		if err != nil {
-			return nil, err
-		}
-		prev = st
-
+	samples := make([]float64, len(sc.Series))
+	parallel.ForEach(len(sc.Series), sc.Parallelism, func(t int) {
+		rng := rand.New(rand.NewSource(faults.DeriveSeed(sc.Seed, int64(t))))
 		down := map[topology.LinkID]bool{}
 		downSw := map[topology.SwitchID]bool{}
 		if failSwitch {
@@ -42,7 +40,11 @@ func OversubDataFaults(sc Scenario, prot core.Protection, nLinks int, failSwitch
 				}
 			}
 		}
-		dist.Add(maxOversubPct(sc.Net, sc.Tun, st, down, downSw))
+		samples[t] = maxOversubPct(sc.Net, sc.Tun, states[t], down, downSw)
+	})
+	var dist metrics.Dist
+	for _, s := range samples {
+		dist.Add(s)
 	}
 	return &dist, nil
 }
@@ -50,31 +52,32 @@ func OversubDataFaults(sc Scenario, prot core.Protection, nLinks int, failSwitch
 // OversubControlFaults reproduces Figure 1(b): simulate a network update
 // every interval and make nStale random ingress switches keep the previous
 // interval's configuration; record the maximum link oversubscription.
+// Parallelized like OversubDataFaults: states first (independent unless
+// kc > 0 chains them), then the per-interval stale replays.
 func OversubControlFaults(sc Scenario, prot core.Protection, nStale int) (*metrics.Dist, error) {
-	rng := rand.New(rand.NewSource(sc.Seed))
 	solver := core.NewSolver(sc.Net, sc.Tun, core.Options{})
-	var dist metrics.Dist
-	prev := core.NewState()
+	states, err := solveSeries(solver, sc, prot, sc.Parallelism)
+	if err != nil {
+		return nil, err
+	}
 	srcs := ingressSwitches(sc.Tun)
-	for t, m := range sc.Series {
-		in := core.Input{Demands: m, Prot: prot}
-		if prot.Kc > 0 {
-			in.Prev = prev
-		}
-		st, _, err := solver.Solve(in)
-		if err != nil {
-			return nil, err
-		}
-		if t == 0 {
-			prev = st
-			continue // no previous configuration to be stale on
-		}
+	if len(states) == 0 {
+		return &metrics.Dist{}, nil
+	}
+	// The first interval has no previous configuration to be stale on.
+	samples := make([]float64, len(states)-1)
+	parallel.ForEach(len(samples), sc.Parallelism, func(i int) {
+		t := i + 1
+		rng := rand.New(rand.NewSource(faults.DeriveSeed(sc.Seed, int64(t))))
 		stale := map[topology.SwitchID]bool{}
-		for _, i := range rng.Perm(len(srcs))[:min(nStale, len(srcs))] {
-			stale[srcs[i]] = true
+		for _, j := range rng.Perm(len(srcs))[:min(nStale, len(srcs))] {
+			stale[srcs[j]] = true
 		}
-		dist.Add(maxOversubStalePct(sc.Net, sc.Tun, st, prev, stale))
-		prev = st
+		samples[i] = maxOversubStalePct(sc.Net, sc.Tun, states[t], states[t-1], stale)
+	})
+	var dist metrics.Dist
+	for _, s := range samples {
+		dist.Add(s)
 	}
 	return &dist, nil
 }

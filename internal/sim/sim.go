@@ -31,6 +31,13 @@ type Scenario struct {
 	Failures faults.FailureModel
 	Switches faults.SwitchModel
 	Seed     int64
+	// Parallelism bounds the worker count for the scenario's
+	// embarrassingly-parallel work: independent TE intervals in the
+	// oversubscription replays and independent runs in RunMany. ≤ 0 means
+	// all cores (runtime.GOMAXPROCS(0)); 1 forces the serial path. Every
+	// interval draws from its own faults.DeriveSeed-derived RNG, so
+	// results are bit-identical at any setting.
+	Parallelism int
 }
 
 // PriorityConfig enables multi-priority simulation (§8.4).
