@@ -4,9 +4,14 @@
 //	ffcbench -exp all
 //	ffcbench -exp fig13,fig14 -net lnet -sites 10 -intervals 48
 //	ffcbench -exp table2 -net both
+//	ffcbench -exp table2 -net snet -stats          # + solver counters, BENCH_snet.json
+//	ffcbench -exp all -debug-addr localhost:6060   # live pprof/expvar
 //
 // Output is text: aligned tables for bar/line figures and "x y" series for
-// CDFs, labelled with the corresponding paper artifact.
+// CDFs, labelled with the corresponding paper artifact. With -stats the
+// run additionally times an S-Net-style verify/solve micro-pass and writes
+// machine-readable BENCH_<net>.json (see internal/obs) — the same format
+// the CI perf gate (cmd/benchgate) consumes.
 package main
 
 import (
@@ -17,9 +22,14 @@ import (
 	"strings"
 	"time"
 
+	"ffc/internal/core"
 	"ffc/internal/experiments"
 	"ffc/internal/faults"
 	"ffc/internal/metrics"
+	"ffc/internal/obs"
+	"ffc/internal/parallel"
+	"ffc/internal/sim"
+	"ffc/internal/topology"
 )
 
 var allExperiments = []string{
@@ -38,8 +48,22 @@ func main() {
 		quick     = flag.Bool("quick", false, "shrink everything for a fast smoke run")
 		par       = flag.Int("parallel", 0, "worker count for parallel stages (<=0 = all cores, 1 = serial)")
 		compare   = flag.Bool("compare-serial", false, "after the run, repeat with -parallel 1 and print a wall-clock speedup table")
+		stats     = flag.Bool("stats", false, "enable instrumentation: print solver counters and a latency breakdown, run a verify/solve micro-benchmark, and write BENCH_<net>.json")
+		benchJSON = flag.String("bench-json", "", "override the BENCH output path (default BENCH_<net>.json per environment; implies -stats semantics for the file)")
+		debugAddr = flag.String("debug-addr", "", "serve /debug/pprof, /debug/vars and /debug/obs on this address (e.g. localhost:6060)")
 	)
 	flag.Parse()
+
+	if *stats {
+		obs.Enable()
+	}
+	if *debugAddr != "" {
+		addr, err := obs.Serve(*debugAddr)
+		if err != nil {
+			fatalf("debug server: %v", err)
+		}
+		fmt.Fprintf(os.Stderr, "debug server on http://%s/debug/obs (pprof, vars)\n", addr)
+	}
 
 	if *quick {
 		*sites, *intervals, *tunnels = 6, 6, 4
@@ -141,16 +165,166 @@ func main() {
 	pass(os.Stdout, &parTimes, true)
 	fmt.Fprintf(os.Stderr, "all done in %v\n", time.Since(start).Round(time.Millisecond))
 
+	var serTimes *metrics.Stopwatch
 	if *compare {
-		fmt.Fprintln(os.Stderr, "re-running serially (-parallel 1) for the speedup table...")
-		for _, env := range envs {
-			env.Parallelism = 1
+		if parallel.Workers(*par) == 1 {
+			// The main pass already ran serially; re-running it would time
+			// the identical configuration twice.
+			fmt.Println("# wall-clock: -compare-serial skipped — the run was already serial (-parallel=1), nothing to compare")
+		} else {
+			fmt.Fprintln(os.Stderr, "re-running serially (-parallel 1) for the speedup table...")
+			for _, env := range envs {
+				env.Parallelism = 1
+			}
+			serTimes = &metrics.Stopwatch{}
+			pass(io.Discard, serTimes, false)
+			fmt.Println("# wall-clock: serial vs parallel")
+			fmt.Print(metrics.RenderSpeedup(serTimes, &parTimes))
+			for _, env := range envs {
+				env.Parallelism = *par
+			}
 		}
-		var serTimes metrics.Stopwatch
-		pass(io.Discard, &serTimes, false)
-		fmt.Println("# wall-clock: serial vs parallel")
-		fmt.Print(metrics.RenderSpeedup(&serTimes, &parTimes))
 	}
+
+	if *stats || *benchJSON != "" {
+		if len(envs) == 0 {
+			fmt.Fprintln(os.Stderr, "no environment built (-exp selected only synthetic figures); skipping the -stats micro-benchmark")
+		}
+		for i, env := range envs {
+			path := *benchJSON
+			if path == "" || len(envs) > 1 {
+				path = "BENCH_" + envLabel(env) + ".json"
+				if *benchJSON != "" && i == 0 {
+					fmt.Fprintln(os.Stderr, "-bench-json ignored: multiple environments, writing per-env BENCH files")
+				}
+			}
+			bf, err := statsPass(env, &parTimes, serTimes)
+			if err != nil {
+				fatalf("stats micro-benchmark (%s): %v", env.Name, err)
+			}
+			if err := obs.WriteBenchFile(path, bf); err != nil {
+				fatalf("writing %s: %v", path, err)
+			}
+			fmt.Fprintf(os.Stderr, "wrote %s (%d benchmarks)\n", path, len(bf.Benchmarks))
+		}
+		fmt.Fprintln(os.Stderr, "--- instrumentation dump (counters, spans) ---")
+		obs.Default().WriteText(os.Stderr)
+	}
+}
+
+// envLabel maps "S-Net" → "snet" for file names and "SNet" bench tags.
+func envLabel(env *experiments.Env) string {
+	return strings.ToLower(strings.ReplaceAll(env.Name, "-", ""))
+}
+
+func envTag(env *experiments.Env) string {
+	return strings.ReplaceAll(env.Name, "-", "")
+}
+
+// numFaultCases counts link-failure combinations of size 0..ke over the
+// physical links — the data-plane verifier's enumeration size.
+func numFaultCases(net *topology.Network, ke int) int64 {
+	phys := 0
+	for _, l := range net.Links {
+		if l.Twin == topology.None || l.ID < l.Twin {
+			phys++
+		}
+	}
+	total, choose := int64(0), int64(1)
+	for s := 0; s <= ke; s++ {
+		if s > 0 {
+			choose = choose * int64(phys-s+1) / int64(s)
+		}
+		total += choose
+	}
+	return total
+}
+
+// statsPass runs the instrumented micro-benchmark behind -stats: one plain
+// and one FFC (ke=2) TE solve, then the ke=2 data-plane verification both
+// serially and in parallel — the same workload as the repo's
+// BenchmarkVerifyDataPlaneSNet, with matching normalized names so the CI
+// gate compares them directly. Experiment wall-clock timings from the main
+// pass (and the -compare-serial speedups, when present) ride along.
+func statsPass(env *experiments.Env, parTimes, serTimes *metrics.Stopwatch) (*obs.BenchFile, error) {
+	const ke = 2
+	tag := envTag(env)
+	fmt.Fprintf(os.Stderr, "stats micro-benchmark on %s (ke=%d)...\n", env.Name, ke)
+	solver := core.NewSolver(env.Net, env.Tun, env.Opts)
+	demands := sim.ScaleSeries(env.Series, env.Scale1)[0]
+
+	bf := &obs.BenchFile{Schema: obs.BenchSchema, Label: envLabel(env)}
+
+	// Plain TE solve.
+	t0 := time.Now()
+	st, plainStats, err := solver.Solve(core.Input{Demands: demands})
+	if err != nil {
+		return nil, err
+	}
+	bf.Benchmarks = append(bf.Benchmarks, obs.BenchEntry{
+		Name: "ffcbench/" + bf.Label + "/solve_plain", NsPerOp: float64(time.Since(t0).Nanoseconds()), Ops: 1,
+		Counters: map[string]int64{
+			"iters":        int64(plainStats.LP.Iters),
+			"reinversions": int64(plainStats.LP.Reinversions),
+			"basis_nnz":    int64(plainStats.LP.BasisNnz),
+		},
+	})
+
+	// FFC solve at ke=2 (data-plane protection).
+	t0 = time.Now()
+	_, ffcStats, err := solver.Solve(core.Input{Demands: demands, Prot: core.Protection{Ke: ke}})
+	if err != nil {
+		return nil, err
+	}
+	ffcNs := time.Since(t0)
+	bf.Benchmarks = append(bf.Benchmarks, obs.BenchEntry{
+		Name: "ffcbench/" + bf.Label + "/solve_ffc_ke2", NsPerOp: float64(ffcNs.Nanoseconds()), Ops: 1,
+		Counters: map[string]int64{
+			"iters":         int64(ffcStats.LP.Iters),
+			"phase1_iters":  int64(ffcStats.LP.Phase1Iters),
+			"reinversions":  int64(ffcStats.LP.Reinversions),
+			"devex_resets":  int64(ffcStats.LP.DevexResets),
+			"bound_flips":   int64(ffcStats.LP.BoundFlips),
+			"basis_nnz":     int64(ffcStats.LP.BasisNnz),
+			"presolve_rows": int64(ffcStats.LP.PresolveRows),
+			"presolve_cols": int64(ffcStats.LP.PresolveCols),
+			"lp_vars":       int64(ffcStats.Vars),
+			"lp_cons":       int64(ffcStats.Constraints),
+		},
+	})
+	fmt.Fprintf(os.Stderr, "  solve(ke=%d): %v  build %v  iters %d (phase1 %d)  reinversions %d  devex resets %d  basis nnz %d\n",
+		ke, ffcStats.SolveTime.Round(time.Millisecond), ffcStats.BuildTime.Round(time.Millisecond),
+		ffcStats.LP.Iters, ffcStats.LP.Phase1Iters, ffcStats.LP.Reinversions, ffcStats.LP.DevexResets, ffcStats.LP.BasisNnz)
+
+	// Data-plane verification, serial then parallel, on the plain state —
+	// the repo benchmark's workload (BenchmarkVerifyDataPlaneSNet).
+	cases := numFaultCases(env.Net, ke)
+	t0 = time.Now()
+	core.VerifyDataPlaneN(env.Net, env.Tun, st, ke, 0, nil, 1)
+	serial := time.Since(t0)
+	t0 = time.Now()
+	core.VerifyDataPlaneN(env.Net, env.Tun, st, ke, 0, nil, 0)
+	par := time.Since(t0)
+	bf.Benchmarks = append(bf.Benchmarks,
+		obs.BenchEntry{Name: "VerifyDataPlane" + tag + "/serial", NsPerOp: float64(serial.Nanoseconds()), Ops: 1, Cases: cases},
+		obs.BenchEntry{Name: "VerifyDataPlane" + tag + "/parallel", NsPerOp: float64(par.Nanoseconds()), Ops: 1, Cases: cases,
+			Speedup: metrics.Speedup(serial, par)},
+	)
+	fmt.Fprintf(os.Stderr, "  verify(ke=%d, %d cases): serial %v  parallel %v  speedup %.2fx\n",
+		ke, cases, serial.Round(time.Millisecond), par.Round(time.Millisecond), metrics.Speedup(serial, par))
+
+	// Experiment wall-clock from the main pass, with serial/parallel
+	// speedups when -compare-serial ran.
+	for _, id := range parTimes.Names() {
+		e := obs.BenchEntry{Name: "ffcbench/exp/" + id, NsPerOp: float64(parTimes.Get(id).Nanoseconds()), Ops: 1}
+		if serTimes != nil {
+			e.Speedup = metrics.Speedup(serTimes.Get(id), parTimes.Get(id))
+		}
+		bf.Benchmarks = append(bf.Benchmarks, e)
+	}
+
+	bf.Counters = obs.Default().CounterValues()
+	return bf, nil
 }
 
 func contains(xs []string, x string) bool {

@@ -21,6 +21,7 @@ import (
 	"ffc/internal/experiments"
 	"ffc/internal/faults"
 	"ffc/internal/metrics"
+	"ffc/internal/obs"
 	"ffc/internal/sim"
 )
 
@@ -39,8 +40,21 @@ func main() {
 		seed      = flag.Int64("seed", 1, "random seed")
 		mtbf      = flag.Duration("link-mtbf", 30*time.Minute, "network-wide link MTBF")
 		par       = flag.Int("parallel", 0, "worker count for parallel stages (<=0 = all cores, 1 = serial)")
+		stats     = flag.Bool("stats", false, "print solver counters and the per-interval solve latency breakdown to stderr after the run")
+		debugAddr = flag.String("debug-addr", "", "serve /debug/pprof, /debug/vars and /debug/obs on this address")
 	)
 	flag.Parse()
+
+	if *stats {
+		obs.Enable()
+	}
+	if *debugAddr != "" {
+		addr, err := obs.Serve(*debugAddr)
+		if err != nil {
+			fatalf("debug server: %v", err)
+		}
+		fmt.Fprintf(os.Stderr, "debug server on http://%s/debug/obs (pprof, vars)\n", addr)
+	}
 
 	var env *experiments.Env
 	var err error
@@ -123,6 +137,11 @@ func main() {
 				metrics.SafeRatio(ffcRes.ByPriority[p].LossBytes, ffcRes.Total.LossBytes, 0))
 		}
 		fmt.Print(ct.String())
+	}
+
+	if *stats {
+		fmt.Fprintln(os.Stderr)
+		obs.Default().WriteText(os.Stderr)
 	}
 }
 

@@ -17,6 +17,7 @@ import (
 	"os"
 
 	"ffc/internal/core"
+	"ffc/internal/obs"
 	"ffc/internal/topology"
 	"ffc/internal/tunnel"
 	"ffc/internal/wire"
@@ -37,11 +38,24 @@ func main() {
 		objective  = flag.String("objective", "throughput", "objective: throughput, mlu, maxmin")
 		verifyFlag = flag.Bool("verify", false, "exhaustively verify the guarantee (small networks)")
 		par        = flag.Int("parallel", 0, "verification workers (<=0 = all cores, 1 = serial)")
+		statsFlag  = flag.Bool("stats", false, "print the solver/verifier counter and latency breakdown to stderr")
+		debugAddr  = flag.String("debug-addr", "", "serve /debug/pprof, /debug/vars and /debug/obs on this address")
 	)
 	flag.Parse()
 	if *topoPath == "" || *demPath == "" {
 		flag.Usage()
 		os.Exit(2)
+	}
+
+	if *statsFlag {
+		obs.Enable()
+	}
+	if *debugAddr != "" {
+		addr, err := obs.Serve(*debugAddr)
+		if err != nil {
+			fatalf("debug server: %v", err)
+		}
+		fmt.Fprintf(os.Stderr, "debug server on http://%s/debug/obs (pprof, vars)\n", addr)
 	}
 
 	var net topology.Network
@@ -113,6 +127,14 @@ func main() {
 
 	fmt.Fprintf(os.Stderr, "solved: %d vars, %d constraints, %d iterations, %v; throughput %.4g/%.4g\n",
 		stats.Vars, stats.Constraints, stats.Iters, stats.SolveTime.Round(0), st.TotalRate(), demands.Total())
+	if *statsFlag {
+		fmt.Fprintf(os.Stderr, "solver: build %v, solve %v; phase1 %d/%d iters, %d reinversions, %d devex resets, %d bound flips, basis nnz %d, presolve -%d rows -%d cols\n",
+			stats.BuildTime.Round(0), stats.SolveTime.Round(0),
+			stats.LP.Phase1Iters, stats.LP.Iters, stats.LP.Reinversions, stats.LP.DevexResets,
+			stats.LP.BoundFlips, stats.LP.BasisNnz, stats.LP.PresolveRows, stats.LP.PresolveCols)
+		fmt.Fprintln(os.Stderr)
+		obs.Default().WriteText(os.Stderr)
+	}
 
 	enc := json.NewEncoder(os.Stdout)
 	enc.SetIndent("", "  ")

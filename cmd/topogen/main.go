@@ -22,6 +22,7 @@ import (
 
 	"ffc/internal/core"
 	"ffc/internal/demand"
+	"ffc/internal/obs"
 	"ffc/internal/sim"
 	"ffc/internal/topology"
 	"ffc/internal/tunnel"
@@ -39,8 +40,13 @@ func main() {
 		outPath = flag.String("out", "", "topology output file (default stdout)")
 		demPath = flag.String("demands", "", "also write a calibrated demand file here")
 		scale   = flag.Float64("scale", 1.0, "traffic scale relative to the 99%-satisfied point")
+		stats   = flag.Bool("stats", false, "print calibration-solver counters to stderr (with -demands)")
 	)
 	flag.Parse()
+
+	if *stats {
+		obs.Enable()
+	}
 
 	rng := rand.New(rand.NewSource(*seed))
 	var net *topology.Network
@@ -83,6 +89,10 @@ func main() {
 			fatalf("calibrating: %v", err)
 		}
 		writeJSON(*demPath, wire.EncodeDemands(net, series[0].Scale(k**scale)))
+	}
+
+	if *stats {
+		obs.Default().WriteText(os.Stderr)
 	}
 }
 

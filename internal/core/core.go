@@ -27,6 +27,7 @@ import (
 
 	"ffc/internal/demand"
 	"ffc/internal/lp"
+	"ffc/internal/obs"
 	"ffc/internal/topology"
 	"ffc/internal/tunnel"
 )
@@ -298,6 +299,12 @@ type Stats struct {
 	EncodingConstraints int
 	Iters               int
 	SolveTime           time.Duration
+	// BuildTime is the slice of SolveTime spent constructing the LP
+	// (formulation and encoding) before the simplex ran.
+	BuildTime time.Duration
+	// LP breaks down the simplex work (iteration split, reinversions,
+	// presolve reductions, basis fill-in).
+	LP lp.SolveStats
 	// MLU is the max link utilization of the result (MinMLU objective).
 	MLU float64
 	// FaultMLU is the planned worst-case link utilization under the
@@ -420,12 +427,18 @@ func (s *Solver) FormulateOnly(in Input) (*Stats, error) {
 
 // Solve computes a TE configuration for in.
 func (s *Solver) Solve(in Input) (*State, *Stats, error) {
+	sp := obs.StartSpan("core.solve")
+	build := sp.Child("build")
 	start := time.Now()
 	b := newBuilder(s, &in)
 	if err := b.formulate(); err != nil {
 		return nil, nil, err
 	}
+	buildTime := time.Since(start)
+	build.End()
+	lpSpan := sp.Child("lp")
 	sol, err := b.model.Solve()
+	lpSpan.End()
 	stats := &Stats{
 		Status:              sol.Status,
 		Objective:           sol.Objective,
@@ -435,11 +448,17 @@ func (s *Solver) Solve(in Input) (*State, *Stats, error) {
 		EncodingConstraints: b.encCons,
 		Iters:               sol.Iters,
 		SolveTime:           time.Since(start),
+		BuildTime:           buildTime,
+		LP:                  sol.Stats,
 	}
 	if err != nil {
+		sp.End()
 		return nil, stats, fmt.Errorf("core: TE solve failed: %w", err)
 	}
+	extract := sp.Child("extract")
 	st := b.extract(sol)
+	extract.End()
+	defer sp.End()
 	switch s.Opts.Objective {
 	case MinMLU:
 		stats.MLU = sol.Value(b.mluVar)

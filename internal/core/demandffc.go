@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"ffc/internal/lp"
+	"ffc/internal/obs"
 	"ffc/internal/parallel"
 	"ffc/internal/sortnet"
 	"ffc/internal/topology"
@@ -142,8 +143,11 @@ func VerifyDemandUncertaintyN(net *topology.Network, tun *tunnel.Set, st *State,
 		}
 	}
 	cases := combosUpTo(len(flows), count)
+	sp := obs.StartSpan("core.verify/demand")
+	defer sp.End()
+	obsVerifyDemandCases.Add(int64(len(cases)))
 	worst := make([]*Violation, len(cases))
-	parallel.ForEach(len(cases), verifyShardWorkers(workers, len(cases)), func(ci int) {
+	parallel.ForEachWorkerObs("core.verify.demand", len(cases), verifyShardWorkers(workers, len(cases)), func(_, ci int) {
 		sel := cases[ci]
 		overdriven := make([]tunnel.Flow, len(sel))
 		for i, fi := range sel {

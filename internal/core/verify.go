@@ -5,9 +5,18 @@ import (
 	"math"
 	"sort"
 
+	"ffc/internal/obs"
 	"ffc/internal/parallel"
 	"ffc/internal/topology"
 	"ffc/internal/tunnel"
+)
+
+// Fault-case totals per verifier — the denominators for the per-shard
+// timings ForEachWorkerObs records under core.verify.*.
+var (
+	obsVerifyDataCases   = obs.NewCounter("core.verify.dataplane.cases")
+	obsVerifyCtrlCases   = obs.NewCounter("core.verify.controlplane.cases")
+	obsVerifyDemandCases = obs.NewCounter("core.verify.demand.cases")
 )
 
 // Violation describes one fault case that overloads a link.
@@ -87,6 +96,9 @@ func VerifyDataPlaneN(net *topology.Network, tun *tunnel.Set, st *State, ke, kv 
 	}
 	cases := combosUpTo(len(links), ke)
 	w := verifyShardWorkers(workers, len(cases))
+	sp := obs.StartSpan("core.verify/dataplane")
+	defer sp.End()
+	obsVerifyDataCases.Add(int64(len(cases)))
 
 	type buffers struct {
 		down  map[topology.LinkID]bool
@@ -94,7 +106,7 @@ func VerifyDataPlaneN(net *topology.Network, tun *tunnel.Set, st *State, ke, kv 
 	}
 	bufs := make([]buffers, w)
 	worst := make([]*Violation, len(cases))
-	parallel.ForEachWorker(len(cases), w, func(worker, ci int) {
+	parallel.ForEachWorkerObs("core.verify.dataplane", len(cases), w, func(worker, ci int) {
 		b := &bufs[worker]
 		if b.down == nil {
 			b.down = map[topology.LinkID]bool{}
@@ -237,8 +249,11 @@ func VerifyControlPlaneN(net *topology.Network, tun *tunnel.Set, newSt, oldSt *S
 	sort.Slice(srcs, func(i, j int) bool { return srcs[i] < srcs[j] })
 
 	cases := combosUpTo(len(srcs), kc)
+	sp := obs.StartSpan("core.verify/controlplane")
+	defer sp.End()
+	obsVerifyCtrlCases.Add(int64(len(cases)))
 	worst := make([]*Violation, len(cases))
-	parallel.ForEach(len(cases), verifyShardWorkers(workers, len(cases)), func(ci int) {
+	parallel.ForEachWorkerObs("core.verify.controlplane", len(cases), verifyShardWorkers(workers, len(cases)), func(_, ci int) {
 		sel := cases[ci]
 		failed := make(map[topology.SwitchID]bool, len(sel))
 		failedIDs := make([]topology.SwitchID, len(sel))

@@ -21,11 +21,16 @@ import (
 	"ffc/internal/demand"
 	"ffc/internal/faults"
 	"ffc/internal/metrics"
+	"ffc/internal/obs"
 	"ffc/internal/parallel"
 	"ffc/internal/sim"
 	"ffc/internal/topology"
 	"ffc/internal/tunnel"
 )
+
+// obsExpSolve is the per-interval TE solve latency distribution across
+// the experiment harness (Fig12 protection sweeps and Table2 timing).
+var obsExpSolve = obs.NewHistogram("experiments.interval_solve")
 
 // Env bundles one evaluation network with its demand series and tunnels.
 type Env struct {
@@ -243,7 +248,10 @@ func Fig12(e *Env, w io.Writer) ([]Fig12Row, error) {
 						prev = base[t-1]
 					}
 					in := core.Input{Demands: series[t], Prot: prot(k), Prev: prev}
-					ffc, _, err := solver.Solve(in)
+					ffc, stats, err := solver.Solve(in)
+					if stats != nil && obs.Enabled() {
+						obsExpSolve.ObserveDuration(stats.SolveTime)
+					}
 					if err != nil {
 						// Infeasible at this protection level: total loss
 						// of throughput for the interval.
@@ -334,6 +342,9 @@ func Table2(e *Env, w io.Writer) ([]Table2Row, error) {
 			if err != nil {
 				errs[ci] = fmt.Errorf("table2 %s: %w", cfg.name, err)
 				return
+			}
+			if obs.Enabled() {
+				obsExpSolve.ObserveDuration(stats.SolveTime)
 			}
 			total += stats.SolveTime
 			vars, cons = stats.Vars, stats.Constraints

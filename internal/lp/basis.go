@@ -35,6 +35,10 @@ type basisRep interface {
 	// shouldRefactor reports whether accumulated updates warrant a
 	// rebuild.
 	shouldRefactor() bool
+	// nnzCount reports the stored size of the representation — eta-file
+	// nonzeros for the product form, m² for the dense inverse. It is the
+	// fill-in statistic surfaced in SolveStats.BasisNnz.
+	nnzCount() int
 }
 
 // pfiThreshold selects the representation: bases at least this large use
@@ -154,6 +158,8 @@ func (d *denseRep) pivot(r int, w []float64, _ []int32) {
 }
 
 func (d *denseRep) shouldRefactor() bool { return d.updates >= 256 }
+
+func (d *denseRep) nnzCount() int { return d.m * d.m }
 
 // ------------------------------------------------------------------ pfi --
 
@@ -309,6 +315,8 @@ func (p *pfiRep) shouldRefactor() bool {
 	// inherently dense (baseNnz high) must not refactor on every pivot.
 	return appended >= 128 || p.nnz > 2*p.baseNnz+40*p.m+4096
 }
+
+func (p *pfiRep) nnzCount() int { return p.nnz }
 
 // refactor reinverts: it rebuilds the eta chain from the current basis
 // columns in a structurally chosen order, with pre-assigned pivot rows

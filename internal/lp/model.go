@@ -4,6 +4,8 @@ import (
 	"errors"
 	"fmt"
 	"math"
+
+	"ffc/internal/obs"
 )
 
 // Sense is the direction of a linear constraint.
@@ -194,6 +196,9 @@ type Solution struct {
 	Duals []float64
 	// Iters is the total number of simplex iterations used.
 	Iters int
+	// Stats breaks down the work the solve performed (iteration split,
+	// reinversions, presolve reductions, ...).
+	Stats SolveStats
 }
 
 // Value returns the solution value of v.
@@ -203,6 +208,7 @@ func (s *Solution) Value(v Var) float64 { return s.X[v] }
 // returns a Solution carrying the status plus an error wrapping
 // ErrNotOptimal.
 func (m *Model) Solve() (*Solution, error) {
+	sp := obs.StartSpan("lp.solve")
 	pre := runPresolve(m)
 	var sol *Solution
 	switch {
@@ -219,6 +225,10 @@ func (m *Model) Solve() (*Solution, error) {
 	default:
 		sol = solveSimplex(m)
 	}
+	sol.Stats.PresolveRows = len(m.rows) - len(pre.origRow)
+	sol.Stats.PresolveCols = len(m.cols) - len(pre.origCol)
+	sol.Stats.publish(sol.Status)
+	sp.End()
 	sol.Objective += m.objConst
 	if sol.Status != Optimal {
 		return sol, fmt.Errorf("%w: %s", ErrNotOptimal, sol.Status)

@@ -140,6 +140,7 @@ func (p *presolved) expand(m *Model, sol *Solution) *Solution {
 	out := &Solution{
 		Status: sol.Status,
 		Iters:  sol.Iters,
+		Stats:  sol.Stats,
 		X:      make([]float64, len(m.cols)),
 		Duals:  make([]float64, len(m.rows)),
 	}

@@ -44,6 +44,7 @@ type simplexState struct {
 	iters    int
 	maxIters int
 	nArtif   int
+	stats    SolveStats // work counters, filled as the solve progresses
 }
 
 func solveSimplex(model *Model) *Solution {
@@ -79,6 +80,9 @@ func solveSimplex(model *Model) *Solution {
 	st := s.run()
 	sol.Status = st
 	sol.Iters = s.iters
+	s.stats.Iters = s.iters
+	s.stats.BasisNnz = s.rep.nnzCount()
+	sol.Stats = s.stats
 	if st == Optimal || st == IterLimit {
 		xs := s.extract()
 		copy(sol.X, xs[:s.nStruct])
@@ -321,6 +325,7 @@ func (s *simplexState) computeDuals() {
 // The representation may reorder s.basis (position↔row bookkeeping).
 func (s *simplexState) refactor() {
 	m := s.m
+	s.stats.Reinversions++
 	s.rep.refactor(s)
 	// xB = B⁻¹ (rhs − N x_N)
 	res := make([]float64, m)
@@ -404,6 +409,7 @@ func swapRows(a []float64, n, i, j int) {
 func (s *simplexState) run() Status {
 	if s.phase1 {
 		st := s.optimize()
+		s.stats.Phase1Iters = s.iters
 		if st != Optimal {
 			if st == Unbounded {
 				// Phase-I objective is bounded below by zero; treat as numerical trouble.
@@ -512,6 +518,9 @@ func (s *simplexState) optimize() Status {
 		if theta <= degenEps {
 			degenRun++
 			if degenRun > 4*(m+64) {
+				if !bland {
+					s.stats.BlandActivations++
+				}
 				bland = true
 			}
 		} else {
@@ -521,6 +530,7 @@ func (s *simplexState) optimize() Status {
 
 		if leave < 0 {
 			// Bound flip: entering variable moves across its full span.
+			s.stats.BoundFlips++
 			applyStep(s.xB, w, pat, dir*theta)
 			if s.status[q] == stAtLower {
 				s.status[q] = stAtUpper
@@ -591,6 +601,7 @@ func (s *simplexState) optimize() Status {
 			s.gamma[lv] = 1
 		}
 		if s.gamma[lv] > 1e12 || gq > 1e12 {
+			s.stats.DevexResets++
 			s.resetDevex()
 		}
 

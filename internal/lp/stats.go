@@ -1,0 +1,65 @@
+package lp
+
+import "ffc/internal/obs"
+
+// SolveStats details the work one Solve performed. The counters are
+// accumulated in plain struct fields on the simplex state as the solver
+// always did — the hot loop never touches the obs layer — and published
+// to the process-wide registry in one batch per solve.
+type SolveStats struct {
+	// Iters is total simplex iterations across both phases (== Solution.Iters).
+	Iters int
+	// Phase1Iters is the portion spent finding a feasible basis.
+	Phase1Iters int
+	// Reinversions counts basis refactorizations after the initial one.
+	Reinversions int
+	// DevexResets counts Devex reference-framework resets forced by
+	// weight overflow (per-phase initializations are not counted).
+	DevexResets int
+	// BlandActivations counts falls back to Bland's anti-cycling rule
+	// after a long degenerate run.
+	BlandActivations int
+	// BoundFlips counts nonbasic bound-to-bound steps (no basis change).
+	BoundFlips int
+	// BasisNnz is the nonzero count of the final basis-inverse
+	// representation (eta-file nonzeros for PFI, m² for dense) — the
+	// fill-in proxy.
+	BasisNnz int
+	// PresolveRows and PresolveCols count rows/columns removed before
+	// the simplex ran.
+	PresolveRows int
+	PresolveCols int
+}
+
+// Package-level handles into the Default registry: the publish path is a
+// handful of atomic adds, allocation-free.
+var (
+	obsSolves       = obs.NewCounter("lp.solves")
+	obsNotOptimal   = obs.NewCounter("lp.not_optimal")
+	obsIters        = obs.NewCounter("lp.iters")
+	obsPhase1Iters  = obs.NewCounter("lp.phase1_iters")
+	obsReinversions = obs.NewCounter("lp.reinversions")
+	obsDevexResets  = obs.NewCounter("lp.devex_resets")
+	obsBlandActs    = obs.NewCounter("lp.bland_activations")
+	obsBoundFlips   = obs.NewCounter("lp.bound_flips")
+	obsPresolveRows = obs.NewCounter("lp.presolve_rows_removed")
+	obsPresolveCols = obs.NewCounter("lp.presolve_cols_removed")
+	obsBasisNnz     = obs.NewGauge("lp.basis_nnz_max")
+)
+
+// publish pushes one solve's stats into the registry.
+func (st *SolveStats) publish(status Status) {
+	obsSolves.Inc()
+	if status != Optimal {
+		obsNotOptimal.Inc()
+	}
+	obsIters.Add(int64(st.Iters))
+	obsPhase1Iters.Add(int64(st.Phase1Iters))
+	obsReinversions.Add(int64(st.Reinversions))
+	obsDevexResets.Add(int64(st.DevexResets))
+	obsBlandActs.Add(int64(st.BlandActivations))
+	obsBoundFlips.Add(int64(st.BoundFlips))
+	obsPresolveRows.Add(int64(st.PresolveRows))
+	obsPresolveCols.Add(int64(st.PresolveCols))
+	obsBasisNnz.SetMax(int64(st.BasisNnz))
+}

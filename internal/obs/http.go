@@ -1,0 +1,53 @@
+package obs
+
+import (
+	"expvar"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sync"
+)
+
+var publishOnce sync.Once
+
+// Handler returns an http.Handler exposing, on its own mux (nothing
+// leaks onto http.DefaultServeMux):
+//
+//	/debug/pprof/...  net/http/pprof profiles
+//	/debug/vars       expvar JSON (includes the "ffc" registry snapshot)
+//	/debug/obs        text dump of the Default registry
+//	/debug/obs.json   JSON snapshot of the Default registry
+func Handler() http.Handler {
+	publishOnce.Do(func() {
+		expvar.Publish("ffc", expvar.Func(func() any { return def.Snapshot() }))
+	})
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/obs", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		def.WriteText(w)
+	})
+	mux.HandleFunc("/debug/obs.json", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		def.WriteJSON(w)
+	})
+	return mux
+}
+
+// Serve starts the debug server on addr (e.g. "localhost:6060", or
+// "localhost:0" for an ephemeral port) in a background goroutine and
+// returns the bound address. The listener lives for the process
+// lifetime; binaries call this once behind their -debug-addr flag.
+func Serve(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	go http.Serve(ln, Handler())
+	return ln.Addr().String(), nil
+}

@@ -1,0 +1,51 @@
+package parallel
+
+import (
+	"time"
+
+	"ffc/internal/obs"
+)
+
+// padded keeps each worker's busy-time accumulator on its own cache line
+// so the instrumented path doesn't introduce false sharing between
+// workers.
+type padded struct {
+	busy time.Duration
+	_    [56]byte
+}
+
+// ForEachWorkerObs is ForEachWorker plus shard observability. When the
+// obs layer is disabled it forwards directly — the only overhead is one
+// atomic load. When enabled it additionally records, under the given
+// metric name prefix:
+//
+//	<name>.items        counter: indices processed
+//	<name>.calls        counter: fan-out invocations
+//	<name>.worker_busy  histogram: per-worker busy time (ns), one sample
+//	                    per worker per call — shard imbalance shows up
+//	                    as the min/max spread
+func ForEachWorkerObs(name string, n, w int, fn func(worker, i int)) {
+	if !obs.Enabled() || n == 0 {
+		ForEachWorker(n, w, fn)
+		return
+	}
+	eff := Workers(w)
+	if eff > n {
+		eff = n
+	}
+	busy := make([]padded, eff)
+	ForEachWorker(n, w, func(worker, i int) {
+		t0 := time.Now()
+		fn(worker, i)
+		busy[worker].busy += time.Since(t0)
+	})
+	reg := obs.Default()
+	reg.Counter(name + ".items").Add(int64(n))
+	reg.Counter(name + ".calls").Inc()
+	h := reg.Histogram(name + ".worker_busy")
+	for i := range busy {
+		if busy[i].busy > 0 {
+			h.ObserveDuration(busy[i].busy)
+		}
+	}
+}

@@ -1,0 +1,46 @@
+package parallel
+
+import (
+	"sync/atomic"
+	"testing"
+
+	"ffc/internal/obs"
+)
+
+func TestForEachWorkerObsDisabledRecordsNothing(t *testing.T) {
+	obs.Disable()
+	obs.Default().Reset()
+	var calls atomic.Int64
+	ForEachWorkerObs("test.shard", 100, 4, func(_, _ int) { calls.Add(1) })
+	if calls.Load() != 100 {
+		t.Fatalf("fn ran %d times, want 100", calls.Load())
+	}
+	if got := obs.Default().Counter("test.shard.items").Value(); got != 0 {
+		t.Fatalf("disabled run recorded %d items", got)
+	}
+}
+
+func TestForEachWorkerObsEnabledRecords(t *testing.T) {
+	obs.Enable()
+	defer obs.Disable()
+	obs.Default().Reset()
+	seen := make([]atomic.Int64, 64)
+	ForEachWorkerObs("test.shard", 64, 4, func(_, i int) { seen[i].Add(1) })
+	for i := range seen {
+		if seen[i].Load() != 1 {
+			t.Fatalf("index %d processed %d times", i, seen[i].Load())
+		}
+	}
+	reg := obs.Default()
+	if got := reg.Counter("test.shard.items").Value(); got != 64 {
+		t.Fatalf("items = %d, want 64", got)
+	}
+	if got := reg.Counter("test.shard.calls").Value(); got != 1 {
+		t.Fatalf("calls = %d, want 1", got)
+	}
+	if got := reg.Histogram("test.shard.worker_busy").Count(); got < 1 || got > 4 {
+		t.Fatalf("worker_busy samples = %d, want 1..4", got)
+	}
+	// Zero items must not divide or record anything.
+	ForEachWorkerObs("test.empty", 0, 4, func(_, _ int) { t.Fatal("fn called for n=0") })
+}

@@ -8,9 +8,14 @@ import (
 	"ffc/internal/core"
 	"ffc/internal/demand"
 	"ffc/internal/faults"
+	"ffc/internal/obs"
 	"ffc/internal/topology"
 	"ffc/internal/tunnel"
 )
+
+// obsIntervalSolve is the per-interval TE solve latency distribution for
+// simulated scenarios (one sample per interval per priority class).
+var obsIntervalSolve = obs.NewHistogram("sim.interval_solve")
 
 // intervalState is the working state of one simulated TE interval.
 type intervalState struct {
@@ -70,6 +75,9 @@ func (iv *intervalState) solveTE(prev []*core.State) error {
 			iv.res.InfeasibleIntervals++
 		}
 		iv.res.SolveTime.Add(stats.SolveTime.Seconds())
+		if obs.Enabled() {
+			obsIntervalSolve.ObserveDuration(stats.SolveTime)
+		}
 		iv.states[ci] = st
 		// §5.1: lower classes use capacity net of the traffic higher
 		// classes *actually* send (weights×rate), not their allocations —

@@ -32,6 +32,20 @@ import (
 	"fmt"
 
 	"ffc/internal/lp"
+	"ffc/internal/obs"
+)
+
+// Encoding-size counters: per-process totals of what the encoders emit,
+// split by technique so a regression in the O(N·M) advantage of the
+// network over naive enumeration shows up directly in -stats output.
+var (
+	obsNetEncodings   = obs.NewCounter("sortnet.network.encodings")
+	obsNetComparators = obs.NewCounter("sortnet.network.comparators")
+	obsNetVars        = obs.NewCounter("sortnet.network.vars")
+	obsNetCons        = obs.NewCounter("sortnet.network.constraints")
+	obsCmpEncodings   = obs.NewCounter("sortnet.compact.encodings")
+	obsCmpVars        = obs.NewCounter("sortnet.compact.vars")
+	obsCmpCons        = obs.NewCounter("sortnet.compact.constraints")
 )
 
 // Result carries the outputs of a partial sorting-network encoding.
@@ -45,6 +59,9 @@ type Result struct {
 	Vars int
 	// Constraints is the number of constraints added to the model.
 	Constraints int
+	// Comparators is the number of compare-swap operators emitted (zero
+	// for the compact encodings, which have none).
+	Comparators int
 }
 
 // LargestSum adds a partial bubble network over exprs to m and returns an
@@ -78,6 +95,12 @@ func partialSort(m *lp.Model, exprs []*lp.Expr, M int, name string, largest bool
 	if M == 0 {
 		return res
 	}
+	defer func() {
+		obsNetEncodings.Inc()
+		obsNetComparators.Add(int64(res.Comparators))
+		obsNetVars.Add(int64(res.Vars))
+		obsNetCons.Add(int64(res.Constraints))
+	}()
 	// Working wires: start as the input expressions; each bubble pass
 	// replaces them with loser wires and extracts one winner.
 	wires := make([]*lp.Expr, len(exprs))
@@ -104,6 +127,7 @@ func partialSort(m *lp.Model, exprs []*lp.Expr, M int, name string, largest bool
 		winner, losers, v, c := bubblePass(m, wires, fmt.Sprintf("%s.p%d", name, pass), largest)
 		res.Vars += v
 		res.Constraints += c
+		res.Comparators += len(wires) - 1
 		res.Ranked = append(res.Ranked, winner)
 		res.Sum.AddExpr(1, winner)
 		wires = losers
@@ -182,7 +206,14 @@ func TopKCompact(m *lp.Model, exprs []*lp.Expr, M int, name string) Result {
 		sum.Add(1, t)
 	}
 	res.Sum = sum
+	publishCompact(&res)
 	return res
+}
+
+func publishCompact(res *Result) {
+	obsCmpEncodings.Inc()
+	obsCmpVars.Add(int64(res.Vars))
+	obsCmpCons.Add(int64(res.Constraints))
 }
 
 // BottomKCompact is the symmetric compact encoding lower-bounding the sum of
@@ -210,5 +241,6 @@ func BottomKCompact(m *lp.Model, exprs []*lp.Expr, M int, name string) Result {
 		sum.Add(-1, t)
 	}
 	res.Sum = sum
+	publishCompact(&res)
 	return res
 }

@@ -1,0 +1,32 @@
+package sortnet
+
+import (
+	"testing"
+
+	"ffc/internal/lp"
+)
+
+// TestComparatorCount pins the comparator arithmetic of the partial
+// bubble network: pass p over the remaining N−p wires uses N−1−p
+// compare-swaps, so M passes over N inputs emit Σ_{p<M} (N−1−p), each
+// contributing 2 vars and 3 constraints.
+func TestComparatorCount(t *testing.T) {
+	const N, M = 5, 2
+	m := lp.NewModel()
+	exprs := make([]*lp.Expr, N)
+	for i := range exprs {
+		v := m.NewVar("x", 0, 10)
+		exprs[i] = lp.NewExpr().Add(1, v)
+	}
+	res := LargestSum(m, exprs, M, "net")
+	want := (N - 1) + (N - 2) // 7
+	if res.Comparators != want {
+		t.Fatalf("Comparators = %d, want %d", res.Comparators, want)
+	}
+	if res.Vars != 2*want || res.Constraints != 3*want {
+		t.Fatalf("vars=%d cons=%d, want %d and %d", res.Vars, res.Constraints, 2*want, 3*want)
+	}
+	if cmp := TopKCompact(m, exprs, M, "k"); cmp.Comparators != 0 {
+		t.Fatalf("compact encoding reports %d comparators, want 0", cmp.Comparators)
+	}
+}
