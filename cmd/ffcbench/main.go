@@ -18,11 +18,13 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"math/rand"
 	"os"
 	"strings"
 	"time"
 
 	"ffc/internal/core"
+	"ffc/internal/demand"
 	"ffc/internal/experiments"
 	"ffc/internal/faults"
 	"ffc/internal/metrics"
@@ -47,6 +49,7 @@ func main() {
 		tunnels   = flag.Int("tunnels", 6, "tunnels per flow")
 		quick     = flag.Bool("quick", false, "shrink everything for a fast smoke run")
 		par       = flag.Int("parallel", 0, "worker count for parallel stages (<=0 = all cores, 1 = serial)")
+		warm      = flag.Bool("warm", false, "warm-start serial interval re-solves from the previous basis across the harness")
 		compare   = flag.Bool("compare-serial", false, "after the run, repeat with -parallel 1 and print a wall-clock speedup table")
 		stats     = flag.Bool("stats", false, "enable instrumentation: print solver counters and a latency breakdown, run a verify/solve micro-benchmark, and write BENCH_<net>.json")
 		benchJSON = flag.String("bench-json", "", "override the BENCH output path (default BENCH_<net>.json per environment; implies -stats semantics for the file)")
@@ -96,7 +99,7 @@ func main() {
 		}
 	}
 	if needEnv {
-		cfg := experiments.EnvConfig{Sites: *sites, Intervals: *intervals, Seed: *seed, TunnelsPerFlow: *tunnels, Parallelism: *par}
+		cfg := experiments.EnvConfig{Sites: *sites, Intervals: *intervals, Seed: *seed, TunnelsPerFlow: *tunnels, Parallelism: *par, WarmStart: *warm}
 		if *netKind == "lnet" || *netKind == "both" {
 			fmt.Fprintf(os.Stderr, "building L-Net environment (%d sites, %d intervals)...\n", *sites, *intervals)
 			env, err := experiments.NewLNet(cfg)
@@ -296,6 +299,63 @@ func statsPass(env *experiments.Env, parTimes, serTimes *metrics.Stopwatch) (*ob
 		ke, ffcStats.SolveTime.Round(time.Millisecond), ffcStats.BuildTime.Round(time.Millisecond),
 		ffcStats.LP.Iters, ffcStats.LP.Phase1Iters, ffcStats.LP.Reinversions, ffcStats.LP.DevexResets, ffcStats.LP.BasisNnz)
 
+	// Warm vs cold interval re-solves: a short serial chain of FFC solves
+	// over a 5-minute-cadence drift series (σ = 5% per-interval noise,
+	// scaled to the calibrated load), once starting each interval from
+	// scratch and once carrying the previous interval's basis
+	// (core.Session) — the workload of BenchmarkResolveWarmVsCold, with
+	// matching counters so the CI gate can watch the iteration savings.
+	// Mice classification is off for both modes: it re-buckets flows by
+	// demand every interval, changing the LP's column set and forcing a
+	// model rebuild that neither mode could reuse.
+	gen := demand.Generate(env.Net, demand.Config{Intervals: 6, NoiseSigma: 0.05}, rand.New(rand.NewSource(61)))
+	ref := sim.ScaleSeries(env.Series, env.Scale1)[0].Total()
+	chain := sim.ScaleSeries(gen, ref/gen[0].Total())
+	resolveOpts := env.Opts
+	resolveOpts.MiceFraction = 0
+	resolveSolver := core.NewSolver(env.Net, env.Tun, resolveOpts)
+	resolve := func(warmStart bool) (time.Duration, int64, int64, error) {
+		var elapsed time.Duration
+		var iters, p1 int64
+		solve := resolveSolver.Solve
+		if warmStart {
+			solve = resolveSolver.NewSession().Solve
+		}
+		for i, dem := range chain {
+			if i == 0 {
+				continue // interval 0 is the cold build either way
+			}
+			t0 := time.Now()
+			_, s, err := solve(core.Input{Demands: dem, Prot: core.Protection{Ke: ke}})
+			if err != nil {
+				return 0, 0, 0, err
+			}
+			elapsed += time.Since(t0)
+			iters += int64(s.LP.Iters)
+			p1 += int64(s.LP.Phase1Iters)
+		}
+		return elapsed, iters, p1, nil
+	}
+	coldNs, coldIters, coldP1, err := resolve(false)
+	if err != nil {
+		return nil, err
+	}
+	warmNs, warmIters, warmP1, err := resolve(true)
+	if err != nil {
+		return nil, err
+	}
+	n := int64(len(chain) - 1)
+	bf.Benchmarks = append(bf.Benchmarks,
+		obs.BenchEntry{Name: "ffcbench/" + bf.Label + "/resolve_cold", NsPerOp: float64(coldNs.Nanoseconds()) / float64(n), Ops: n,
+			Counters: map[string]int64{"iters": coldIters, "phase1_iters": coldP1}},
+		obs.BenchEntry{Name: "ffcbench/" + bf.Label + "/resolve_warm", NsPerOp: float64(warmNs.Nanoseconds()) / float64(n), Ops: n,
+			Counters: map[string]int64{"iters": warmIters, "phase1_iters": warmP1},
+			Speedup:  metrics.Speedup(coldNs, warmNs)},
+	)
+	fmt.Fprintf(os.Stderr, "  resolve ×%d (ke=%d): cold %v / %d iters  warm %v / %d iters  (%.2fx time, %.2fx iters)\n",
+		n, ke, coldNs.Round(time.Millisecond), coldIters, warmNs.Round(time.Millisecond), warmIters,
+		metrics.Speedup(coldNs, warmNs), float64(coldIters)/float64(max64(warmIters, 1)))
+
 	// Data-plane verification, serial then parallel, on the plain state —
 	// the repo benchmark's workload (BenchmarkVerifyDataPlaneSNet).
 	cases := numFaultCases(env.Net, ke)
@@ -325,6 +385,13 @@ func statsPass(env *experiments.Env, parTimes, serTimes *metrics.Stopwatch) (*ob
 
 	bf.Counters = obs.Default().CounterValues()
 	return bf, nil
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
 }
 
 func contains(xs []string, x string) bool {

@@ -37,6 +37,7 @@ func main() {
 		encoding   = flag.String("encoding", "sortnet", "bounded M-sum encoding: sortnet, compact, naive")
 		objective  = flag.String("objective", "throughput", "objective: throughput, mlu, maxmin")
 		verifyFlag = flag.Bool("verify", false, "exhaustively verify the guarantee (small networks)")
+		warm       = flag.Bool("warm", false, "warm-start successive LP solves from the previous basis (used by -objective maxmin's iterations)")
 		par        = flag.Int("parallel", 0, "verification workers (<=0 = all cores, 1 = serial)")
 		statsFlag  = flag.Bool("stats", false, "print the solver/verifier counter and latency breakdown to stderr")
 		debugAddr  = flag.String("debug-addr", "", "serve /debug/pprof, /debug/vars and /debug/obs on this address")
@@ -101,7 +102,13 @@ func main() {
 	var st *core.State
 	var stats *core.Stats
 	if *objective == "maxmin" {
-		res, merr := solver.SolveMaxMin(in, 2, 0)
+		var res *core.MaxMinResult
+		var merr error
+		if *warm {
+			res, merr = solver.NewSession().SolveMaxMin(in, 2, 0)
+		} else {
+			res, merr = solver.SolveMaxMin(in, 2, 0)
+		}
 		if merr != nil {
 			fatalf("solve: %v", merr)
 		}

@@ -319,6 +319,12 @@ type Stats struct {
 	// AddedCapacity is the per-link capacity expansion chosen by the
 	// PlanCapacity objective (zero entries omitted).
 	AddedCapacity map[topology.LinkID]float64
+	// Warm marks solves whose simplex started from a previous basis
+	// (Session solves only).
+	Warm bool
+	// ModelReused marks Session solves that rebound the cached LP in place
+	// (bounds/RHS mutation) instead of re-formulating it.
+	ModelReused bool
 }
 
 // Solver computes FFC TE configurations over a fixed network + tunnel set.
@@ -426,19 +432,43 @@ func (s *Solver) FormulateOnly(in Input) (*Stats, error) {
 }
 
 // Solve computes a TE configuration for in.
-func (s *Solver) Solve(in Input) (*State, *Stats, error) {
+func (s *Solver) Solve(in Input) (*State, *Stats, error) { return s.solve(in, nil) }
+
+// solve is the shared implementation behind Solver.Solve (se == nil, always
+// a fresh model and cold simplex start) and Session.Solve (cached model
+// rebound in place when the structure allows it, simplex warm-started from
+// the previous basis).
+func (s *Solver) solve(in Input, se *Session) (*State, *Stats, error) {
 	sp := obs.StartSpan("core.solve")
 	build := sp.Child("build")
 	start := time.Now()
-	b := newBuilder(s, &in)
-	if err := b.formulate(); err != nil {
-		return nil, nil, err
+	var b *builder
+	var ws *lp.WarmStart
+	reused := false
+	if se != nil {
+		ws = se.warm
+		if se.canRebind(&in) {
+			b = se.rebind(in)
+			reused = true
+		}
+	}
+	if b == nil {
+		b = newBuilder(s, &in)
+		if err := b.formulate(); err != nil {
+			return nil, nil, err
+		}
+		if se != nil {
+			se.remember(b, in)
+		}
 	}
 	buildTime := time.Since(start)
 	build.End()
 	lpSpan := sp.Child("lp")
-	sol, err := b.model.Solve()
+	sol, err := b.model.SolveFrom(ws)
 	lpSpan.End()
+	if se != nil && sol != nil && sol.Warm() != nil {
+		se.warm = sol.Warm()
+	}
 	stats := &Stats{
 		Status:              sol.Status,
 		Objective:           sol.Objective,
@@ -450,6 +480,8 @@ func (s *Solver) Solve(in Input) (*State, *Stats, error) {
 		SolveTime:           time.Since(start),
 		BuildTime:           buildTime,
 		LP:                  sol.Stats,
+		Warm:                sol.Stats.Warm,
+		ModelReused:         reused,
 	}
 	if err != nil {
 		sp.End()

@@ -158,40 +158,64 @@ func (b *builder) selectMice() {
 	}
 }
 
+// rateBounds derives bf's bounds from the current input (a pure function
+// of values, given fixed flow structure — Session.rebind reuses it to
+// re-bound a cached model without re-formulating).
+func (b *builder) rateBounds(f tunnel.Flow) (lo, hi float64) {
+	d := b.in.Demands[f]
+	lo, hi = 0.0, d
+	if b.s.Opts.Objective == MinMLU || b.s.Opts.Objective == PlanCapacity {
+		lo = d // the full offered demand must be carried
+	}
+	if cap, ok := b.in.RateCaps[f]; ok && cap < hi {
+		hi = cap
+		if lo > hi {
+			lo = hi
+		}
+	}
+	if floor, ok := b.in.RateFloors[f]; ok {
+		if floor > hi {
+			floor = hi
+		}
+		if floor > lo {
+			lo = floor
+		}
+	}
+	if fixed, ok := b.in.FixedRates[f]; ok {
+		lo, hi = fixed, fixed
+	}
+	if _, ok := b.in.Uncertain[f]; ok {
+		prevRate := b.in.Prev.Rate[f]
+		lo, hi = prevRate, prevRate
+	}
+	if b.aliveTau[f] <= 0 {
+		// Worst-case faults can kill every surviving tunnel: the flow
+		// cannot be admitted under this protection level (§4.3).
+		lo, hi = 0, 0
+	}
+	return lo, hi
+}
+
+// allocBounds derives a_{f,t}'s bounds from the current input (also reused
+// by Session.rebind).
+func (b *builder) allocBounds(f tunnel.Flow, i int) (alo, ahi float64) {
+	alo, ahi = 0, lp.Inf
+	if _, ok := b.in.Uncertain[f]; ok {
+		prev := 0.0
+		if pa := b.in.Prev.Alloc[f]; i < len(pa) {
+			prev = pa[i]
+		}
+		alo, ahi = prev, prev
+	}
+	if !b.alive[f][i] {
+		alo, ahi = 0, 0 // tunnel is currently down
+	}
+	return alo, ahi
+}
+
 func (b *builder) createVars() {
 	for _, f := range b.flows {
-		d := b.in.Demands[f]
-		lo, hi := 0.0, d
-		if b.s.Opts.Objective == MinMLU || b.s.Opts.Objective == PlanCapacity {
-			lo = d // the full offered demand must be carried
-		}
-		if cap, ok := b.in.RateCaps[f]; ok && cap < hi {
-			hi = cap
-			if lo > hi {
-				lo = hi
-			}
-		}
-		if floor, ok := b.in.RateFloors[f]; ok {
-			if floor > hi {
-				floor = hi
-			}
-			if floor > lo {
-				lo = floor
-			}
-		}
-		if fixed, ok := b.in.FixedRates[f]; ok {
-			lo, hi = fixed, fixed
-		}
-		if u, ok := b.in.Uncertain[f]; ok {
-			_ = u
-			prevRate := b.in.Prev.Rate[f]
-			lo, hi = prevRate, prevRate
-		}
-		if b.aliveTau[f] <= 0 {
-			// Worst-case faults can kill every surviving tunnel: the flow
-			// cannot be admitted under this protection level (§4.3).
-			lo, hi = 0, 0
-		}
+		lo, hi := b.rateBounds(f)
 		b.bVar[f] = b.model.NewVar(fmt.Sprintf("b[%v]", f), lo, hi)
 
 		if b.mice[f] {
@@ -201,17 +225,7 @@ func (b *builder) createVars() {
 		ts := b.s.Tun.Tunnels(f)
 		as := make([]lp.Var, len(ts))
 		for i := range ts {
-			alo, ahi := 0.0, lp.Inf
-			if _, ok := b.in.Uncertain[f]; ok {
-				prev := 0.0
-				if pa := b.in.Prev.Alloc[f]; i < len(pa) {
-					prev = pa[i]
-				}
-				alo, ahi = prev, prev
-			}
-			if !b.alive[f][i] {
-				alo, ahi = 0, 0 // tunnel is currently down
-			}
+			alo, ahi := b.allocBounds(f, i)
 			as[i] = b.model.NewVar(fmt.Sprintf("a[%v,%d]", f, i), alo, ahi)
 		}
 		b.aVar[f] = as

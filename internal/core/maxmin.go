@@ -24,6 +24,18 @@ type MaxMinResult struct {
 // (a value ≤ the smallest interesting rate; it is lowered automatically if
 // it exceeds the smallest demand).
 func (s *Solver) SolveMaxMin(in Input, alpha, u0 float64) (*MaxMinResult, error) {
+	return s.solveMaxMin(in, alpha, u0, nil)
+}
+
+// SolveMaxMin is Solver.SolveMaxMin with the session's cross-solve reuse:
+// the iterations differ only in rate caps, floors, and fixings, so each one
+// re-solves from the previous iteration's basis (and rebinds the built
+// model when the shape allows).
+func (se *Session) SolveMaxMin(in Input, alpha, u0 float64) (*MaxMinResult, error) {
+	return se.s.solveMaxMin(in, alpha, u0, se)
+}
+
+func (s *Solver) solveMaxMin(in Input, alpha, u0 float64, se *Session) (*MaxMinResult, error) {
 	if alpha <= 1 {
 		alpha = 2
 	}
@@ -68,7 +80,7 @@ func (s *Solver) SolveMaxMin(in Input, alpha, u0 float64) (*MaxMinResult, error)
 				iter.RateFloors[f] = math.Min(d, prevBound)
 			}
 		}
-		st, stats, err := s.Solve(iter)
+		st, stats, err := s.solve(iter, se)
 		if err != nil {
 			return nil, err
 		}

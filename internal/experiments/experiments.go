@@ -44,6 +44,11 @@ type Env struct {
 	// Parallelism bounds the per-figure worker pools (see
 	// EnvConfig.Parallelism). Mutable between figure runs.
 	Parallelism int
+	// WarmStart carries each serial interval loop's LP basis (and, where the
+	// model shape allows, the built model) across intervals: it is forwarded
+	// to every sim.RunConfig the harness builds and to Table2's per-config
+	// solve chains. Mutable between figure runs.
+	WarmStart bool
 }
 
 // EnvConfig sizes an environment.
@@ -71,6 +76,10 @@ type EnvConfig struct {
 	// bit-identical at any setting (per-interval RNG seeds are derived
 	// with faults.DeriveSeed).
 	Parallelism int
+	// WarmStart enables warm-started interval re-solves throughout the
+	// harness (see Env.WarmStart). Optima match cold runs; the simplex may
+	// pick a different vertex among ties.
+	WarmStart bool
 }
 
 func (c *EnvConfig) fill() {
@@ -99,7 +108,7 @@ func buildEnv(name string, net *topology.Network, cfg EnvConfig) (*Env, error) {
 	if err != nil {
 		return nil, fmt.Errorf("experiments: calibrating %s: %w", name, err)
 	}
-	return &Env{Name: name, Net: net, Tun: tun, Series: series, Scale1: scale1, Seed: cfg.Seed, Opts: opts, Parallelism: cfg.Parallelism}, nil
+	return &Env{Name: name, Net: net, Tun: tun, Series: series, Scale1: scale1, Seed: cfg.Seed, Opts: opts, Parallelism: cfg.Parallelism, WarmStart: cfg.WarmStart}, nil
 }
 
 // NewLNet builds the L-Net-like environment.
@@ -333,12 +342,18 @@ func Table2(e *Env, w io.Writer) ([]Table2Row, error) {
 		var total time.Duration
 		var vars, cons int
 		prev := core.NewState()
+		// Each configuration's intervals form one serial solve chain, the
+		// natural consumer of a warm-start session.
+		solve := solver.Solve
+		if e.WarmStart {
+			solve = solver.NewSession().Solve
+		}
 		for i := 0; i < n; i++ {
 			in := core.Input{Demands: series[i], Prot: cfg.prot}
 			if cfg.prot.Kc > 0 {
 				in.Prev = prev
 			}
-			st, stats, err := solver.Solve(in)
+			st, stats, err := solve(in)
 			if err != nil {
 				errs[ci] = fmt.Errorf("table2 %s: %w", cfg.name, err)
 				return
@@ -394,8 +409,8 @@ func Fig13(e *Env, w io.Writer, models []faults.SwitchModel, scales []float64) (
 	for _, model := range models {
 		for _, scale := range scales {
 			sc := e.Scenario(scale, model)
-			jobs = append(jobs, job{sc, sim.RunConfig{SolverOpts: e.Opts}})
-			jobs = append(jobs, job{sc, sim.RunConfig{Prot: core.Protection{Kc: 2, Ke: 1}, SolverOpts: e.Opts}})
+			jobs = append(jobs, job{sc, sim.RunConfig{SolverOpts: e.Opts, WarmStart: e.WarmStart}})
+			jobs = append(jobs, job{sc, sim.RunConfig{Prot: core.Protection{Kc: 2, Ke: 1}, SolverOpts: e.Opts, WarmStart: e.WarmStart}})
 		}
 	}
 	results := make([]*sim.Result, len(jobs))
@@ -457,8 +472,8 @@ func Fig14(e *Env, w io.Writer, model faults.SwitchModel) ([]Fig14Row, error) {
 	// The protected and baseline cascades replay the same scenario
 	// independently; RunMany runs them concurrently.
 	res, err := sim.RunMany(sc, []sim.RunConfig{
-		{Multi: multiBase, SolverOpts: e.Opts},
-		{Multi: multiProt, SolverOpts: e.Opts},
+		{Multi: multiBase, SolverOpts: e.Opts, WarmStart: e.WarmStart},
+		{Multi: multiProt, SolverOpts: e.Opts, WarmStart: e.WarmStart},
 	})
 	if err != nil {
 		return nil, err
@@ -517,9 +532,9 @@ func Fig15(e *Env, w io.Writer, scales []float64, maxKe int) ([]Fig15Point, erro
 	var jobs []job
 	for _, scale := range scales {
 		sc := e.Scenario(scale, faults.Realistic())
-		jobs = append(jobs, job{sc, sim.RunConfig{SolverOpts: e.Opts}})
+		jobs = append(jobs, job{sc, sim.RunConfig{SolverOpts: e.Opts, WarmStart: e.WarmStart}})
 		for ke := 1; ke <= maxKe; ke++ {
-			jobs = append(jobs, job{sc, sim.RunConfig{Prot: core.Protection{Ke: ke}, SolverOpts: e.Opts}})
+			jobs = append(jobs, job{sc, sim.RunConfig{Prot: core.Protection{Ke: ke}, SolverOpts: e.Opts, WarmStart: e.WarmStart}})
 		}
 	}
 	results := make([]*sim.Result, len(jobs))

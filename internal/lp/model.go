@@ -95,6 +95,16 @@ type Model struct {
 	// forceRep overrides basis-representation selection in tests:
 	// 0 = by size, 1 = dense, 2 = product-form.
 	forceRep int8
+
+	// Presolve cache for incremental re-solves. structVersion increments
+	// whenever the sparsity pattern changes (new variable or constraint);
+	// SetRHS/SetBounds/SetObjCoef leave it alone, so a repeat Solve can
+	// revalidate and reuse the previous presolve plan and reduced model
+	// instead of rebuilding them.
+	structVersion int
+	preCache      *presolved
+	preVersion    int
+	redCache      *Model
 }
 
 // NewModel returns an empty model.
@@ -113,6 +123,7 @@ func (m *Model) NewVar(name string, lo, hi float64) Var {
 		panic(fmt.Sprintf("lp: variable %q has lo %g > hi %g", name, lo, hi))
 	}
 	m.cols = append(m.cols, column{name: name, lo: lo, hi: hi})
+	m.structVersion++
 	return Var(len(m.cols) - 1)
 }
 
@@ -126,6 +137,21 @@ func (m *Model) SetBounds(v Var, lo, hi float64) {
 
 // Bounds returns the current bounds of v.
 func (m *Model) Bounds(v Var) (lo, hi float64) { return m.cols[v].lo, m.cols[v].hi }
+
+// SetRHS replaces the right-hand side of a row (as returned by
+// AddConstraint). The sparsity pattern is untouched, so a follow-up Solve
+// can reuse the cached presolve mapping and a warm-start basis.
+func (m *Model) SetRHS(row int, rhs float64) { m.rows[row].rhs = rhs }
+
+// RHS returns the current right-hand side of a row.
+func (m *Model) RHS(row int) float64 { return m.rows[row].rhs }
+
+// SetObjCoef replaces v's objective coefficient (interpreted in the
+// direction set by Maximize/Minimize) without rebuilding the objective.
+func (m *Model) SetObjCoef(v Var, coef float64) { m.cols[v].obj = coef }
+
+// ObjCoef returns v's current objective coefficient.
+func (m *Model) ObjCoef(v Var) float64 { return m.cols[v].obj }
 
 // VarName returns the diagnostic name of v.
 func (m *Model) VarName(v Var) string { return m.cols[v].name }
@@ -143,6 +169,7 @@ func (m *Model) AddNamed(name string, expr *Expr, sense Sense, rhs float64) int 
 
 func (m *Model) addConstraintNamed(name string, expr *Expr, sense Sense, rhs float64) int {
 	idx, coef := expr.compact()
+	m.structVersion++
 	r := int32(len(m.rows))
 	m.rows = append(m.rows, rowMeta{name: name, sense: sense, rhs: rhs - expr.Constant, nnz: len(idx)})
 	for i, ci := range idx {
@@ -199,17 +226,37 @@ type Solution struct {
 	// Stats breaks down the work the solve performed (iteration split,
 	// reinversions, presolve reductions, ...).
 	Stats SolveStats
+
+	// warm is the reusable basis snapshot (nil unless the solve reached
+	// optimality on a model with rows).
+	warm *WarmStart
 }
 
 // Value returns the solution value of v.
 func (s *Solution) Value(v Var) float64 { return s.X[v] }
 
+// Warm returns the solve's reusable basis handle for SolveFrom, or nil
+// when the solve did not produce one (non-optimal status, empty model).
+func (s *Solution) Warm() *WarmStart { return s.warm }
+
 // Solve runs presolve then the simplex method. On non-optimal outcomes it
 // returns a Solution carrying the status plus an error wrapping
 // ErrNotOptimal.
-func (m *Model) Solve() (*Solution, error) {
+func (m *Model) Solve() (*Solution, error) { return m.SolveFrom(nil) }
+
+// SolveFrom is Solve starting from a previous solution's basis: the warm
+// handle is mapped through the current presolve plan and crash-repaired
+// against the current bounds/RHS, so re-solves after SetRHS / SetBounds /
+// SetObjCoef mutations typically skip Phase 1 and most iterations. A handle
+// that no longer fits the model (structure changed) is ignored; passing nil
+// is exactly Solve.
+func (m *Model) SolveFrom(ws *WarmStart) (*Solution, error) {
 	sp := obs.StartSpan("lp.solve")
-	pre := runPresolve(m)
+	pre, preCached := m.presolveFor()
+	wsMismatch := ws != nil && !ws.fits(m)
+	if wsMismatch {
+		ws = nil
+	}
 	var sol *Solution
 	switch {
 	case pre.infeasible:
@@ -220,13 +267,24 @@ func (m *Model) Solve() (*Solution, error) {
 			}
 		}
 	case pre.worthApplying(m):
-		inner := solveSimplex(pre.reducedModel(m))
+		rm := m.redCache
+		if preCached && rm != nil {
+			pre.refreshReduced(m, rm)
+		} else {
+			rm = pre.reducedModel(m)
+			m.redCache = rm
+		}
+		inner := solveSimplex(rm, pre.restrictWarm(ws))
 		sol = pre.expand(m, inner)
 	default:
-		sol = solveSimplex(m)
+		sol = solveSimplex(m, ws)
 	}
 	sol.Stats.PresolveRows = len(m.rows) - len(pre.origRow)
 	sol.Stats.PresolveCols = len(m.cols) - len(pre.origCol)
+	sol.Stats.PresolveCached = preCached
+	if wsMismatch {
+		sol.Stats.WarmFellBack = true
+	}
 	sol.Stats.publish(sol.Status)
 	sp.End()
 	sol.Objective += m.objConst

@@ -108,6 +108,78 @@ func (p *presolved) worthApplying(m *Model) bool {
 	return len(p.origCol) < len(m.cols) || len(p.origRow) < len(m.rows)
 }
 
+// presolveFor returns the model's presolve plan, reusing the cached one
+// from the previous solve when the sparsity pattern is unchanged and the
+// fixed/free split of every column still matches (so all index mappings —
+// and therefore postsolve and warm-start restriction — stay valid). On a
+// cache hit only the folded values and vacuous-row feasibility are
+// recomputed.
+func (m *Model) presolveFor() (*presolved, bool) {
+	if m.preCache != nil && m.preVersion == m.structVersion && m.preCache.revalidate(m) {
+		return m.preCache, true
+	}
+	p := runPresolve(m)
+	if p.infeasible {
+		// Early-exit plans are incomplete; never cache them.
+		m.preCache, m.redCache = nil, nil
+		return p, false
+	}
+	m.preCache, m.preVersion, m.redCache = p, m.structVersion, nil
+	return p, false
+}
+
+// revalidate checks a cached plan against the model's current bounds: the
+// plan survives iff every column's fixedness still matches its keep flag
+// (bound *values* may drift freely — they are refreshed, not mapped).
+// Vacuous-row feasibility is re-derived from the refreshed folded values;
+// an infeasible verdict still counts as a valid (reusable) plan.
+func (p *presolved) revalidate(m *Model) bool {
+	for j := range m.cols {
+		c := &m.cols[j]
+		if (c.hi-c.lo <= fixedEps) == p.keep[j] {
+			return false
+		}
+	}
+	for i := range p.rhsAdj {
+		p.rhsAdj[i] = 0
+	}
+	for j := range m.cols {
+		if p.keep[j] {
+			continue
+		}
+		c := &m.cols[j]
+		v := c.lo
+		p.fixedVal[j] = v
+		if v == 0 {
+			continue
+		}
+		for k, r := range c.rowIdx {
+			p.rhsAdj[r] += c.rowCoef[k] * v
+		}
+	}
+	p.infeasible = false
+	for i := range m.rows {
+		if p.rowKeep[i] >= 0 {
+			continue
+		}
+		rhs := m.rows[i].rhs - p.rhsAdj[i]
+		ok := true
+		switch m.rows[i].sense {
+		case LE:
+			ok = rhs >= -feasTol
+		case GE:
+			ok = rhs <= feasTol
+		case EQ:
+			ok = math.Abs(rhs) <= feasTol
+		}
+		if !ok {
+			p.infeasible = true
+			return true
+		}
+	}
+	return true
+}
+
 // reducedModel materializes the smaller model.
 func (p *presolved) reducedModel(m *Model) *Model {
 	rm := &Model{maximize: m.maximize, MaxIters: m.MaxIters, forceRep: m.forceRep}
@@ -135,6 +207,23 @@ func (p *presolved) reducedModel(m *Model) *Model {
 	return rm
 }
 
+// refreshReduced re-syncs a cached reduced model's scalars (bounds,
+// objective, right-hand sides, direction) from the original without
+// re-walking the nonzero structure. Valid only while the plan revalidates.
+func (p *presolved) refreshReduced(m, rm *Model) {
+	for nj, j := range p.origCol {
+		src := &m.cols[j]
+		dst := &rm.cols[nj]
+		dst.lo, dst.hi, dst.obj = src.lo, src.hi, src.obj
+	}
+	for ni, i := range p.origRow {
+		rm.rows[ni].rhs = m.rows[i].rhs - p.rhsAdj[i]
+	}
+	rm.maximize = m.maximize
+	rm.MaxIters = m.MaxIters
+	rm.forceRep = m.forceRep
+}
+
 // expand maps a reduced-model solution back to the original index spaces.
 func (p *presolved) expand(m *Model, sol *Solution) *Solution {
 	out := &Solution{
@@ -157,6 +246,9 @@ func (p *presolved) expand(m *Model, sol *Solution) *Solution {
 				out.Duals[i] = sol.Duals[ni]
 			}
 		}
+	}
+	if sol.warm != nil {
+		out.warm = p.expandWarm(sol.warm, m)
 	}
 	out.Objective = objValue(m, out.X)
 	return out

@@ -47,8 +47,8 @@ type simplexState struct {
 	stats    SolveStats // work counters, filled as the solve progresses
 }
 
-func solveSimplex(model *Model) *Solution {
-	s := newState(model)
+func solveSimplex(model *Model, ws *WarmStart) *Solution {
+	s := newState(model, ws)
 	sol := &Solution{X: make([]float64, len(model.cols))}
 	if s == nil {
 		// No rows: every variable independently sits at its objective-
@@ -89,6 +89,9 @@ func solveSimplex(model *Model) *Solution {
 		sol.Objective = objValue(model, sol.X)
 		sol.Duals = s.dualValues(model.maximize)
 	}
+	if st == Optimal {
+		sol.warm = s.captureWarm()
+	}
 	return sol
 }
 
@@ -127,10 +130,11 @@ func nearestBound(lo, hi float64) float64 {
 	}
 }
 
-// newState builds the working problem: slack per row, initial point with
-// structural variables at a bound, slack basic where feasible, artificials
-// elsewhere. Returns nil for a completely empty model.
-func newState(model *Model) *simplexState {
+// newState builds the working problem: slack per row, then either a warm
+// basis install (when ws matches) or the cold diagonal crash — initial
+// point with structural variables at a bound, slack basic where feasible,
+// artificials elsewhere. Returns nil for a completely empty model.
+func newState(model *Model, ws *WarmStart) *simplexState {
 	m := len(model.rows)
 	nS := len(model.cols)
 	if m == 0 {
@@ -175,6 +179,8 @@ func newState(model *Model) *simplexState {
 	}
 
 	// Park every variable (structural and slack) at its nearest bound.
+	// A warm install overwrites these statuses; the diagonal crash keeps
+	// them.
 	for j := 0; j < total; j++ {
 		v := nearestBound(s.lo[j], s.hi[j])
 		s.nbVal[j] = v
@@ -188,7 +194,44 @@ func newState(model *Model) *simplexState {
 		}
 	}
 
-	// Row activity from structural variables at their initial values.
+	s.basis = make([]int, m)
+	s.xB = make([]float64, m)
+	warmed := false
+	if ws != nil && ws.nCols == nS && ws.nRows == m {
+		if s.installWarm(ws, model) {
+			warmed = true
+			s.stats.Warm = true
+		} else {
+			// The failed install left the warm *nonbasic* statuses in
+			// place, so the diagonal crash still needs artificials only on
+			// rows those values don't satisfy.
+			s.stats.WarmFellBack = true
+		}
+	}
+	if !warmed {
+		s.crashDiagonal(model)
+	}
+
+	s.d = make([]float64, s.n)
+	s.gamma = make([]float64, s.n)
+	s.resetDevex()
+	s.computeDuals()
+
+	s.maxIters = model.MaxIters
+	if s.maxIters == 0 {
+		s.maxIters = 200*(m+s.n) + 20000
+	}
+	return s
+}
+
+// crashDiagonal builds the classic diagonal starting basis from the current
+// nonbasic statuses: slack basic where the row is satisfiable at the
+// current structural values, an artificial absorbing the residual
+// elsewhere.
+func (s *simplexState) crashDiagonal(model *Model) {
+	m, nS := s.m, s.nStruct
+
+	// Row activity from structural variables at their parked values.
 	act := make([]float64, m)
 	for j := 0; j < nS; j++ {
 		v := s.nbVal[j]
@@ -200,8 +243,6 @@ func newState(model *Model) *simplexState {
 		}
 	}
 
-	s.basis = make([]int, m)
-	s.xB = make([]float64, m)
 	needPhase1 := false
 	for i := 0; i < m; i++ {
 		sj := nS + i
@@ -262,16 +303,6 @@ func newState(model *Model) *simplexState {
 		dr.initDiagonal(diag)
 		s.rep = dr
 	}
-	s.d = make([]float64, s.n)
-	s.gamma = make([]float64, s.n)
-	s.resetDevex()
-	s.computeDuals()
-
-	s.maxIters = model.MaxIters
-	if s.maxIters == 0 {
-		s.maxIters = 200*(m+s.n) + 20000
-	}
-	return s
 }
 
 func clamp(v, lo, hi float64) float64 {
@@ -324,11 +355,15 @@ func (s *simplexState) computeDuals() {
 // refactor rebuilds the basis representation and the basic solution.
 // The representation may reorder s.basis (position↔row bookkeeping).
 func (s *simplexState) refactor() {
-	m := s.m
 	s.stats.Reinversions++
 	s.rep.refactor(s)
-	// xB = B⁻¹ (rhs − N x_N)
-	res := make([]float64, m)
+	s.computeXB()
+	s.computeDuals()
+}
+
+// computeXB recomputes xB = B⁻¹ (rhs − N x_N) from the factorization.
+func (s *simplexState) computeXB() {
+	res := make([]float64, s.m)
 	copy(res, s.rhs)
 	for j := 0; j < s.n; j++ {
 		if s.status[j] == stBasic {
@@ -344,7 +379,6 @@ func (s *simplexState) refactor() {
 	}
 	s.rep.ftranDense(res)
 	copy(s.xB, res)
-	s.computeDuals()
 }
 
 // invertInPlace inverts the n×n row-major matrix a via Gauss-Jordan with

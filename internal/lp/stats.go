@@ -29,6 +29,20 @@ type SolveStats struct {
 	// the simplex ran.
 	PresolveRows int
 	PresolveCols int
+	// Warm marks solves that successfully started from a caller-provided
+	// basis (SolveFrom with a seated handle).
+	Warm bool
+	// WarmRepairs counts basic variables demoted while crashing the warm
+	// basis against the new bounds/RHS (0 = the old basis was immediately
+	// feasible).
+	WarmRepairs int
+	// WarmFellBack marks solves where a warm basis was provided but could
+	// not be seated (structure change, singular basis, non-converging
+	// repairs) — the solve ran from the cold crash instead.
+	WarmFellBack bool
+	// PresolveCached marks solves that reused the previous solve's presolve
+	// mapping and reduced model (sparsity pattern unchanged).
+	PresolveCached bool
 }
 
 // Package-level handles into the Default registry: the publish path is a
@@ -45,6 +59,10 @@ var (
 	obsPresolveRows = obs.NewCounter("lp.presolve_rows_removed")
 	obsPresolveCols = obs.NewCounter("lp.presolve_cols_removed")
 	obsBasisNnz     = obs.NewGauge("lp.basis_nnz_max")
+	obsWarmSolves   = obs.NewCounter("lp.warm_solves")
+	obsWarmRepairs  = obs.NewCounter("lp.warm_repairs")
+	obsWarmFellBack = obs.NewCounter("lp.warm_fallbacks")
+	obsPreCacheHits = obs.NewCounter("lp.presolve_cache_hits")
 )
 
 // publish pushes one solve's stats into the registry.
@@ -62,4 +80,14 @@ func (st *SolveStats) publish(status Status) {
 	obsPresolveRows.Add(int64(st.PresolveRows))
 	obsPresolveCols.Add(int64(st.PresolveCols))
 	obsBasisNnz.SetMax(int64(st.BasisNnz))
+	if st.Warm {
+		obsWarmSolves.Inc()
+	}
+	obsWarmRepairs.Add(int64(st.WarmRepairs))
+	if st.WarmFellBack {
+		obsWarmFellBack.Inc()
+	}
+	if st.PresolveCached {
+		obsPreCacheHits.Inc()
+	}
 }

@@ -25,6 +25,9 @@ type intervalState struct {
 	solver  *core.Solver
 	res     *Result
 	classes []demand.Priority
+	// sessions, when non-nil, holds one core.Session per class for
+	// warm-started interval re-solves (RunConfig.WarmStart).
+	sessions []*core.Session
 
 	downLinks    map[topology.LinkID]bool
 	downSwitches map[topology.SwitchID]bool
@@ -64,9 +67,17 @@ func (iv *intervalState) solveTE(prev []*core.State) error {
 			DownLinks:    iv.downLinks,
 			DownSwitches: iv.downSwitches,
 		}
-		st, stats, err := iv.solver.Solve(in)
+		var st *core.State
+		var stats *core.Stats
+		var err error
+		if iv.sessions != nil {
+			st, stats, err = iv.sessions[ci].Solve(in)
+		} else {
+			st, stats, err = iv.solver.Solve(in)
+		}
 		if err != nil {
-			// Retry unprotected.
+			// Retry unprotected (always cold: a one-shot solve with a
+			// different protection shape cannot reuse the session model).
 			in.Prot = core.None
 			st, stats, err = iv.solver.Solve(in)
 			if err != nil {

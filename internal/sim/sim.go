@@ -66,6 +66,13 @@ type RunConfig struct {
 	// NoCarryover disables adding unserved demand to the next interval
 	// (micro-benchmarks use this).
 	NoCarryover bool
+	// WarmStart reuses each class's LP model and simplex basis across
+	// intervals (core.Session): consecutive intervals differ only in
+	// demands, capacities, and previous rates, so the solver rebinds
+	// bounds/RHS and re-solves from the old basis instead of starting cold.
+	// Results can differ from cold solves only by the simplex's choice among
+	// alternate optima; the infeasible-interval fallback always solves cold.
+	WarmStart bool
 }
 
 func (c *RunConfig) fill() {
@@ -156,6 +163,15 @@ func Run(sc Scenario, cfg RunConfig) (*Result, error) {
 
 	// Per-priority previous states (single-priority runs use index 0).
 	classes := classesOf(cfg)
+	// One solve session per class when warm-starting: the interval loop is
+	// serial, so each class's basis and model carry over interval to interval.
+	var sessions []*core.Session
+	if cfg.WarmStart {
+		sessions = make([]*core.Session, len(classes))
+		for i := range sessions {
+			sessions[i] = solver.NewSession()
+		}
+	}
 	prev := make([]*core.State, len(classes))
 	for i := range prev {
 		prev[i] = core.NewState()
@@ -170,7 +186,7 @@ func Run(sc Scenario, cfg RunConfig) (*Result, error) {
 		res.Intervals++
 		iv := intervalState{
 			sc: &sc, cfg: &cfg, rng: rng, solver: solver,
-			res: res, classes: classes,
+			res: res, classes: classes, sessions: sessions,
 		}
 		// Elements already down at interval start.
 		iv.downLinks, iv.downSwitches = map[topology.LinkID]bool{}, map[topology.SwitchID]bool{}

@@ -1,0 +1,190 @@
+package sortnet
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+
+	"ffc/internal/lp"
+)
+
+// Cross-encoding property tests: the partial bubble network (the paper's
+// encoding), a generic LP encoding of any full comparator network (here
+// Batcher's odd-even merge sort), and the compact CVaR-style dual must all
+// produce the SAME largest-M (and smallest-M) bound on identical inputs.
+// Inputs are pinned via lo == hi variable bounds so every model's optimum
+// is the exact order statistic, which in turn makes disagreement between
+// encodings impossible to miss.
+
+// encodeNetworkSum turns an arbitrary ascending comparator network into LP
+// constraints via the same compare-swap operator the paper's encoding uses,
+// then returns the sum of the top (largest=true) or bottom M wires.
+func encodeNetworkSum(m *lp.Model, values []float64, net Network, M int, largest bool) *lp.Expr {
+	wires := fixedExprs(m, values)
+	for ci, c := range net {
+		if largest {
+			hi, lo := compareSwap(m, wires[c.A], wires[c.B], fmt.Sprintf("nw.c%d", ci), true)
+			wires[c.A], wires[c.B] = lo, hi // larger value sinks to B
+		} else {
+			mn, rest := compareSwap(m, wires[c.A], wires[c.B], fmt.Sprintf("nw.c%d", ci), false)
+			wires[c.A], wires[c.B] = mn, rest // smaller value rises to A
+		}
+	}
+	n := len(values)
+	sum := lp.NewExpr()
+	if largest {
+		for i := n - M; i < n; i++ {
+			sum.AddExpr(1, wires[i])
+		}
+	} else {
+		for i := 0; i < M; i++ {
+			sum.AddExpr(1, wires[i])
+		}
+	}
+	return sum
+}
+
+// solveBound builds a one-off model around build, optimizes the returned
+// bound expression toward the true value (minimize for upper bounds,
+// maximize for lower bounds), and returns the optimum.
+func solveBound(t *testing.T, tag string, minimize bool, build func(m *lp.Model) *lp.Expr) float64 {
+	t.Helper()
+	m := lp.NewModel()
+	sum := build(m)
+	if minimize {
+		m.Minimize(sum)
+	} else {
+		m.Maximize(sum)
+	}
+	sol, err := m.Solve()
+	if err != nil {
+		t.Fatalf("%s: %v", tag, err)
+	}
+	return sol.Objective
+}
+
+func TestCrossEncodingsAgreeLargest(t *testing.T) {
+	cases := []struct {
+		name string
+		vals []float64
+		M    int
+	}{
+		{"fig8-walkthrough", []float64{3, 1, 4, 1, 5}, 2},
+		{"all-equal", []float64{2, 2, 2, 2}, 3},
+		{"negative-mix", []float64{-3, 7, 0, -1, 2, 5}, 4},
+		{"single", []float64{9, -9}, 1},
+		{"take-all", []float64{1, 2, 3}, 3},
+	}
+	rng := rand.New(rand.NewSource(443))
+	for trial := 0; trial < 40; trial++ {
+		n := 2 + rng.Intn(5)
+		vals := make([]float64, n)
+		for i := range vals {
+			vals[i] = math.Round((rng.Float64()*20-10)*10) / 10
+		}
+		cases = append(cases, struct {
+			name string
+			vals []float64
+			M    int
+		}{fmt.Sprintf("seeded-%d", trial), vals, 1 + rng.Intn(n)})
+	}
+	for _, tc := range cases {
+		truth := topMSum(tc.vals, tc.M)
+		bubble := solveBound(t, tc.name+"/bubble", true, func(m *lp.Model) *lp.Expr {
+			return LargestSum(m, fixedExprs(m, tc.vals), tc.M, "top").Sum
+		})
+		batcher := solveBound(t, tc.name+"/batcher", true, func(m *lp.Model) *lp.Expr {
+			return encodeNetworkSum(m, tc.vals, OddEvenMergeSort(len(tc.vals)), tc.M, true)
+		})
+		cvar := solveBound(t, tc.name+"/cvar", true, func(m *lp.Model) *lp.Expr {
+			return TopKCompact(m, fixedExprs(m, tc.vals), tc.M, "top").Sum
+		})
+		for _, enc := range []struct {
+			name string
+			got  float64
+		}{{"bubble", bubble}, {"batcher", batcher}, {"cvar", cvar}} {
+			if math.Abs(enc.got-truth) > 1e-7*(1+math.Abs(truth)) {
+				t.Errorf("%s/%s: bound %g, true top-%d sum %g", tc.name, enc.name, enc.got, tc.M, truth)
+			}
+		}
+	}
+}
+
+func TestCrossEncodingsAgreeSmallest(t *testing.T) {
+	rng := rand.New(rand.NewSource(444))
+	for trial := 0; trial < 40; trial++ {
+		n := 2 + rng.Intn(5)
+		M := 1 + rng.Intn(n)
+		vals := make([]float64, n)
+		for i := range vals {
+			vals[i] = math.Round((rng.Float64()*20-10)*10) / 10
+		}
+		tag := fmt.Sprintf("seeded-%d", trial)
+		truth := bottomMSum(vals, M)
+		bubble := solveBound(t, tag+"/bubble", false, func(m *lp.Model) *lp.Expr {
+			return SmallestSum(m, fixedExprs(m, vals), M, "bot").Sum
+		})
+		batcher := solveBound(t, tag+"/batcher", false, func(m *lp.Model) *lp.Expr {
+			return encodeNetworkSum(m, vals, OddEvenMergeSort(len(vals)), M, false)
+		})
+		cvar := solveBound(t, tag+"/cvar", false, func(m *lp.Model) *lp.Expr {
+			return BottomKCompact(m, fixedExprs(m, vals), M, "bot").Sum
+		})
+		for _, enc := range []struct {
+			name string
+			got  float64
+		}{{"bubble", bubble}, {"batcher", batcher}, {"cvar", cvar}} {
+			if math.Abs(enc.got-truth) > 1e-7*(1+math.Abs(truth)) {
+				t.Errorf("%s/%s: bound %g, true bottom-%d sum %g", tag, enc.name, enc.got, M, truth)
+			}
+		}
+	}
+}
+
+// TestCrossEncodingWarmPerturbed re-solves a largest-M model with perturbed
+// pinned inputs from the previous basis and checks the optimum still equals
+// the recomputed order statistic — the sortnet encodings are exactly the
+// structures the warm-started TE re-solves carry between intervals.
+func TestCrossEncodingWarmPerturbed(t *testing.T) {
+	rng := rand.New(rand.NewSource(445))
+	for trial := 0; trial < 25; trial++ {
+		n := 3 + rng.Intn(4)
+		M := 1 + rng.Intn(n)
+		vals := make([]float64, n)
+		for i := range vals {
+			vals[i] = math.Round(rng.Float64()*100) / 10
+		}
+		m := lp.NewModel()
+		ins := make([]lp.Var, n)
+		es := make([]*lp.Expr, n)
+		for i, v := range vals {
+			ins[i] = m.NewVar("in", v, v)
+			es[i] = lp.NewExpr().Add(1, ins[i])
+		}
+		m.Minimize(LargestSum(m, es, M, "top").Sum)
+		sol, err := m.Solve()
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if math.Abs(sol.Objective-topMSum(vals, M)) > 1e-7 {
+			t.Fatalf("trial %d: cold bound %g != %g", trial, sol.Objective, topMSum(vals, M))
+		}
+		for step := 0; step < 3; step++ {
+			for i := range vals {
+				if rng.Intn(2) == 0 {
+					vals[i] = math.Round(rng.Float64()*100) / 10
+					m.SetBounds(ins[i], vals[i], vals[i])
+				}
+			}
+			sol, err = m.SolveFrom(sol.Warm())
+			if err != nil {
+				t.Fatalf("trial %d step %d: %v", trial, step, err)
+			}
+			want := topMSum(vals, M)
+			if math.Abs(sol.Objective-want) > 1e-7*(1+math.Abs(want)) {
+				t.Fatalf("trial %d step %d: warm bound %g, want %g", trial, step, sol.Objective, want)
+			}
+		}
+	}
+}
