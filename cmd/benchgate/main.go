@@ -10,8 +10,10 @@
 // times its baseline. The baseline per benchmark is the MAX across every
 // matching file (baselines recorded on different machines must not trip
 // the gate on machine variance); benchmarks with no baseline entry are
-// reported as new and never gated. With -record the compare step is
-// skipped — use it to (re)generate a baseline file.
+// reported as new and never gated, and entries tagged "degraded"
+// (recorded under solver-fault injection or a solve deadline, see
+// ffcbench -inject-solver) are ignored on both sides. With -record the
+// compare step is skipped — use it to (re)generate a baseline file.
 package main
 
 import (
@@ -82,10 +84,14 @@ func main() {
 		return
 	}
 
-	regs, matched, unmatched := obs.CompareBench(bases, cur, *maxRatio)
-	fmt.Printf("gate: %d benchmarks matched a baseline, %d new\n", len(matched), len(unmatched))
+	regs, matched, unmatched, ignored := obs.CompareBench(bases, cur, *maxRatio)
+	fmt.Printf("gate: %d benchmarks matched a baseline, %d new, %d degraded (ignored)\n",
+		len(matched), len(unmatched), len(ignored))
 	for _, n := range unmatched {
 		fmt.Printf("  new (not gated): %s\n", n)
+	}
+	for _, n := range ignored {
+		fmt.Printf("  degraded (not gated): %s\n", n)
 	}
 	if len(regs) == 0 {
 		fmt.Printf("OK: no benchmark exceeded %.1fx its baseline\n", *maxRatio)

@@ -41,21 +41,29 @@ var allExperiments = []string{
 
 func main() {
 	var (
-		exp       = flag.String("exp", "all", "comma-separated experiment ids, or 'all' ("+strings.Join(allExperiments, ",")+")")
-		netKind   = flag.String("net", "lnet", "network: lnet, snet, or both")
-		sites     = flag.Int("sites", 8, "L-Net sites (the real L-Net is ~50; larger is slower)")
-		intervals = flag.Int("intervals", 24, "TE intervals in the demand series")
-		seed      = flag.Int64("seed", 1, "random seed")
-		tunnels   = flag.Int("tunnels", 6, "tunnels per flow")
-		quick     = flag.Bool("quick", false, "shrink everything for a fast smoke run")
-		par       = flag.Int("parallel", 0, "worker count for parallel stages (<=0 = all cores, 1 = serial)")
-		warm      = flag.Bool("warm", false, "warm-start serial interval re-solves from the previous basis across the harness")
-		compare   = flag.Bool("compare-serial", false, "after the run, repeat with -parallel 1 and print a wall-clock speedup table")
-		stats     = flag.Bool("stats", false, "enable instrumentation: print solver counters and a latency breakdown, run a verify/solve micro-benchmark, and write BENCH_<net>.json")
-		benchJSON = flag.String("bench-json", "", "override the BENCH output path (default BENCH_<net>.json per environment; implies -stats semantics for the file)")
-		debugAddr = flag.String("debug-addr", "", "serve /debug/pprof, /debug/vars and /debug/obs on this address (e.g. localhost:6060)")
+		exp        = flag.String("exp", "all", "comma-separated experiment ids, or 'all' ("+strings.Join(allExperiments, ",")+")")
+		netKind    = flag.String("net", "lnet", "network: lnet, snet, or both")
+		sites      = flag.Int("sites", 8, "L-Net sites (the real L-Net is ~50; larger is slower)")
+		intervals  = flag.Int("intervals", 24, "TE intervals in the demand series")
+		seed       = flag.Int64("seed", 1, "random seed")
+		tunnels    = flag.Int("tunnels", 6, "tunnels per flow")
+		quick      = flag.Bool("quick", false, "shrink everything for a fast smoke run")
+		par        = flag.Int("parallel", 0, "worker count for parallel stages (<=0 = all cores, 1 = serial)")
+		warm       = flag.Bool("warm", false, "warm-start serial interval re-solves from the previous basis across the harness")
+		compare    = flag.Bool("compare-serial", false, "after the run, repeat with -parallel 1 and print a wall-clock speedup table")
+		stats      = flag.Bool("stats", false, "enable instrumentation: print solver counters and a latency breakdown, run a verify/solve micro-benchmark, and write BENCH_<net>.json")
+		benchJSON  = flag.String("bench-json", "", "override the BENCH output path (default BENCH_<net>.json per environment; implies -stats semantics for the file)")
+		debugAddr  = flag.String("debug-addr", "", "serve /debug/pprof, /debug/vars and /debug/obs on this address (e.g. localhost:6060)")
+		deadline   = flag.Duration("solver-deadline", 0, "per-interval TE solve budget across the harness; a missed solve degrades the interval to the last-good plan (0 = unbounded)")
+		injectSpec = flag.String("inject-solver", "", "inject controller faults into every sim, e.g. timeout=0.1,crash=0.01,stale=0.02; tags BENCH entries 'degraded'")
 	)
 	flag.Parse()
+
+	injected, err := faults.ParseSolverFaults(*injectSpec)
+	if err != nil {
+		fatalf("-inject-solver: %v", err)
+	}
+	degradedRun := *deadline > 0 || injected.Enabled()
 
 	if *stats {
 		obs.Enable()
@@ -99,7 +107,7 @@ func main() {
 		}
 	}
 	if needEnv {
-		cfg := experiments.EnvConfig{Sites: *sites, Intervals: *intervals, Seed: *seed, TunnelsPerFlow: *tunnels, Parallelism: *par, WarmStart: *warm}
+		cfg := experiments.EnvConfig{Sites: *sites, Intervals: *intervals, Seed: *seed, TunnelsPerFlow: *tunnels, Parallelism: *par, WarmStart: *warm, SolverDeadline: *deadline, SolverFaults: injected}
 		if *netKind == "lnet" || *netKind == "both" {
 			fmt.Fprintf(os.Stderr, "building L-Net environment (%d sites, %d intervals)...\n", *sites, *intervals)
 			env, err := experiments.NewLNet(cfg)
@@ -204,6 +212,13 @@ func main() {
 			bf, err := statsPass(env, &parTimes, serTimes)
 			if err != nil {
 				fatalf("stats micro-benchmark (%s): %v", env.Name, err)
+			}
+			if degradedRun {
+				// The experiment timings above ran under fault injection or a
+				// solve deadline; mark every entry so the CI gate skips them.
+				for i := range bf.Benchmarks {
+					bf.Benchmarks[i].Tags = append(bf.Benchmarks[i].Tags, obs.BenchTagDegraded)
+				}
 			}
 			if err := obs.WriteBenchFile(path, bf); err != nil {
 				fatalf("writing %s: %v", path, err)

@@ -27,24 +27,31 @@ import (
 
 func main() {
 	var (
-		timeline  = flag.Bool("timeline", false, "print the per-interval timeline of the FFC run")
-		netKind   = flag.String("net", "lnet", "network: lnet or snet")
-		sites     = flag.Int("sites", 8, "L-Net sites")
-		intervals = flag.Int("intervals", 24, "TE intervals to simulate")
-		scale     = flag.Float64("scale", 1.0, "traffic scale (1.0 = 99% of demand satisfiable)")
-		kc        = flag.Int("kc", 2, "control-plane protection")
-		ke        = flag.Int("ke", 1, "link protection")
-		kv        = flag.Int("kv", 0, "switch protection")
-		model     = flag.String("model", "realistic", "switch model: realistic or optimistic")
-		multi     = flag.Bool("multi", false, "multi-priority (§8.4) protection levels")
-		seed      = flag.Int64("seed", 1, "random seed")
-		mtbf      = flag.Duration("link-mtbf", 30*time.Minute, "network-wide link MTBF")
-		warm      = flag.Bool("warm", false, "warm-start each class's interval re-solves from the previous basis")
-		par       = flag.Int("parallel", 0, "worker count for parallel stages (<=0 = all cores, 1 = serial)")
-		stats     = flag.Bool("stats", false, "print solver counters and the per-interval solve latency breakdown to stderr after the run")
-		debugAddr = flag.String("debug-addr", "", "serve /debug/pprof, /debug/vars and /debug/obs on this address")
+		timeline   = flag.Bool("timeline", false, "print the per-interval timeline of the FFC run")
+		netKind    = flag.String("net", "lnet", "network: lnet or snet")
+		sites      = flag.Int("sites", 8, "L-Net sites")
+		intervals  = flag.Int("intervals", 24, "TE intervals to simulate")
+		scale      = flag.Float64("scale", 1.0, "traffic scale (1.0 = 99% of demand satisfiable)")
+		kc         = flag.Int("kc", 2, "control-plane protection")
+		ke         = flag.Int("ke", 1, "link protection")
+		kv         = flag.Int("kv", 0, "switch protection")
+		model      = flag.String("model", "realistic", "switch model: realistic or optimistic")
+		multi      = flag.Bool("multi", false, "multi-priority (§8.4) protection levels")
+		seed       = flag.Int64("seed", 1, "random seed")
+		mtbf       = flag.Duration("link-mtbf", 30*time.Minute, "network-wide link MTBF")
+		warm       = flag.Bool("warm", false, "warm-start each class's interval re-solves from the previous basis")
+		par        = flag.Int("parallel", 0, "worker count for parallel stages (<=0 = all cores, 1 = serial)")
+		stats      = flag.Bool("stats", false, "print solver counters and the per-interval solve latency breakdown to stderr after the run")
+		debugAddr  = flag.String("debug-addr", "", "serve /debug/pprof, /debug/vars and /debug/obs on this address")
+		deadline   = flag.Duration("solver-deadline", 0, "per-interval TE solve budget; a missed solve degrades the interval to the last-good plan (0 = unbounded)")
+		injectSpec = flag.String("inject-solver", "", "inject controller faults, e.g. timeout=0.1,crash=0.01,stale=0.02 (per-interval probabilities)")
 	)
 	flag.Parse()
+
+	injected, err := faults.ParseSolverFaults(*injectSpec)
+	if err != nil {
+		fatalf("-inject-solver: %v", err)
+	}
 
 	if *stats {
 		obs.Enable()
@@ -58,7 +65,6 @@ func main() {
 	}
 
 	var env *experiments.Env
-	var err error
 	cfg := experiments.EnvConfig{Sites: *sites, Intervals: *intervals, Seed: *seed, Parallelism: *par}
 	switch *netKind {
 	case "lnet":
@@ -96,6 +102,10 @@ func main() {
 		ffcCfg = sim.RunConfig{Multi: mp, SolverOpts: env.Opts, WarmStart: *warm}
 		baseCfg = sim.RunConfig{Multi: &sim.PriorityConfig{Splits: splits}, SolverOpts: env.Opts, WarmStart: *warm}
 	}
+	for _, c := range []*sim.RunConfig{&baseCfg, &ffcCfg} {
+		c.SolverDeadline = *deadline
+		c.SolverFaults = injected
+	}
 
 	fmt.Fprintf(os.Stderr, "simulating %s: %d switches, %d links, %d intervals, scale %.2g, %s model...\n",
 		env.Name, env.Net.NumSwitches(), env.Net.NumLinks(), *intervals, *scale, sw.Name)
@@ -117,13 +127,17 @@ func main() {
 	tab.Row("max-oversub p99 (%)", 100*base.MaxOversub.Percentile(99), 100*ffcRes.MaxOversub.Percentile(99), "")
 	tab.Row("controller reactions", base.Reactions, ffcRes.Reactions, "")
 	tab.Row("TE solve mean (s)", base.SolveTime.Mean(), ffcRes.SolveTime.Mean(), "")
+	if *deadline > 0 || injected.Enabled() {
+		tab.Row("degraded intervals", base.DegradedIntervals, ffcRes.DegradedIntervals, "")
+		tab.Row("degraded max-oversub (%)", 100*base.DegradedOversub.Max(), 100*ffcRes.DegradedOversub.Max(), "")
+	}
 	fmt.Print(tab.String())
 
 	if *timeline {
 		fmt.Println()
-		tt := metrics.NewTable("interval", "demand", "granted", "lost", "link-faults", "switch-faults", "stale", "max-oversub-%")
+		tt := metrics.NewTable("interval", "demand", "granted", "lost", "link-faults", "switch-faults", "stale", "max-oversub-%", "degraded")
 		for i, rec := range ffcRes.Timeline {
-			tt.Row(i, rec.Demand, rec.Granted, rec.Lost, rec.LinkFaults, rec.SwitchFaults, rec.StaleSwitches, 100*rec.MaxOversub)
+			tt.Row(i, rec.Demand, rec.Granted, rec.Lost, rec.LinkFaults, rec.SwitchFaults, rec.StaleSwitches, 100*rec.MaxOversub, rec.Degraded)
 		}
 		fmt.Print(tt.String())
 	}

@@ -15,6 +15,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"ffc/internal/core"
 	"ffc/internal/obs"
@@ -41,6 +42,8 @@ func main() {
 		par        = flag.Int("parallel", 0, "verification workers (<=0 = all cores, 1 = serial)")
 		statsFlag  = flag.Bool("stats", false, "print the solver/verifier counter and latency breakdown to stderr")
 		debugAddr  = flag.String("debug-addr", "", "serve /debug/pprof, /debug/vars and /debug/obs on this address")
+		deadline   = flag.Duration("solver-deadline", 0, "solve budget; on a budget hit the best feasible configuration found so far is emitted with a warning (0 = unbounded)")
+		injectKind = flag.String("inject-solver", "", "inject a controller fault for testing: timeout (start with the budget expired) or crash (panic inside the simplex)")
 	)
 	flag.Parse()
 	if *topoPath == "" || *demPath == "" {
@@ -99,6 +102,16 @@ func main() {
 
 	prot := core.Protection{Kc: *kc, Ke: *ke, Kv: *kv}
 	in := core.Input{Demands: demands, Prot: prot, Prev: prev}
+	in.Budget.Deadline = *deadline
+	switch *injectKind {
+	case "":
+	case "timeout":
+		in.Budget.Deadline = -time.Nanosecond // expired before the first pivot
+	case "crash":
+		in.Budget.Hook = func(int) { panic("ffcte: injected solver crash") }
+	default:
+		fatalf("unknown -inject-solver %q (want timeout or crash)", *injectKind)
+	}
 	var st *core.State
 	var stats *core.Stats
 	if *objective == "maxmin" {
@@ -116,7 +129,14 @@ func main() {
 	} else {
 		st, stats, err = solver.Solve(in)
 		if err != nil {
-			fatalf("solve: %v", err)
+			// A budget hit with a feasible best-so-far point still yields a
+			// usable (congestion-free, just suboptimal) configuration: emit
+			// it and warn, rather than leaving the caller with nothing.
+			if st != nil && stats != nil && stats.Outcome == core.OutcomeBudgetHit {
+				fmt.Fprintf(os.Stderr, "ffcte: warning: %v; emitting the best feasible configuration found\n", err)
+			} else {
+				fatalf("solve: %v (outcome %v)", err, stats.Outcome)
+			}
 		}
 	}
 

@@ -20,6 +20,7 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"sort"
@@ -140,6 +141,12 @@ type Options struct {
 	// at most Σ_f |Tf|·WeightSkip·bf beyond the guarantee — set 0 (the
 	// default) for exactness; the experiment harness uses 1e-3.
 	WeightSkip float64
+	// SolveBudget is the default wall-clock budget per computation
+	// (formulation + simplex); 0 means unlimited. Warm-started Session
+	// re-solves get SolveBudget/4 — they normally finish in a few
+	// iterations, and a pathological re-solve must not eat the control
+	// interval. Input.Budget.Deadline overrides per computation.
+	SolveBudget time.Duration
 }
 
 // Uncertain describes a flow whose current configuration is unknown between
@@ -185,6 +192,10 @@ type Input struct {
 	// Demand extends protection to demand mispredictions (§9's future-work
 	// direction); only meaningful with the MinMLU objective.
 	Demand DemandUncertainty
+	// Budget bounds this computation (deadline, iteration cap,
+	// cancellation); see Budget. The zero value defers to the solver's
+	// Options.SolveBudget.
+	Budget Budget
 }
 
 // aliveTunnels returns which of f's tunnels survive the input's down sets
@@ -289,7 +300,11 @@ func (s *State) ActualLinkLoads(set *tunnel.Set) map[topology.LinkID]float64 {
 
 // Stats reports solver work for one computation.
 type Stats struct {
-	Status      lp.Status
+	Status lp.Status
+	// Outcome classifies the computation for control-loop decisions
+	// (optimal / budget-hit / infeasible / solver-error). It is set on
+	// every return path, including errors.
+	Outcome     Outcome
 	Objective   float64
 	Vars        int
 	Constraints int
@@ -438,7 +453,27 @@ func (s *Solver) Solve(in Input) (*State, *Stats, error) { return s.solve(in, ni
 // a fresh model and cold simplex start) and Session.Solve (cached model
 // rebound in place when the structure allows it, simplex warm-started from
 // the previous basis).
-func (s *Solver) solve(in Input, se *Session) (*State, *Stats, error) {
+//
+// Error returns always carry non-nil Stats with Stats.Outcome set, so the
+// control loop can choose its fallback; on a budget hit that reached
+// feasibility, the best-so-far State is returned alongside the error.
+// Panics escaping the formulation (including lp's internal-invariant
+// checks) are recovered into a solver-error outcome; panics inside the
+// simplex are already recovered at the lp boundary.
+func (s *Solver) solve(in Input, se *Session) (st *State, stats *Stats, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			st = nil
+			if stats == nil {
+				stats = &Stats{}
+			}
+			stats.Outcome = OutcomeSolverError
+			err = fmt.Errorf("core: TE solve panicked: %v", r)
+		}
+	}()
+	if err := in.validate(); err != nil {
+		return nil, &Stats{Outcome: OutcomeSolverError}, err
+	}
 	sp := obs.StartSpan("core.solve")
 	build := sp.Child("build")
 	start := time.Now()
@@ -455,7 +490,7 @@ func (s *Solver) solve(in Input, se *Session) (*State, *Stats, error) {
 	if b == nil {
 		b = newBuilder(s, &in)
 		if err := b.formulate(); err != nil {
-			return nil, nil, err
+			return nil, &Stats{Outcome: OutcomeSolverError}, err
 		}
 		if se != nil {
 			se.remember(b, in)
@@ -463,32 +498,58 @@ func (s *Solver) solve(in Input, se *Session) (*State, *Stats, error) {
 	}
 	buildTime := time.Since(start)
 	build.End()
+	// The budget's deadline runs from start, so formulation time counts
+	// against it — the controller's window covers the whole computation.
+	opts := lp.SolveOpts{MaxIters: in.Budget.MaxIters, Ctx: in.Budget.Ctx, Hook: in.Budget.Hook}
+	deadline := in.Budget.Deadline
+	if deadline == 0 && s.Opts.SolveBudget > 0 {
+		deadline = s.Opts.SolveBudget
+		if se != nil && ws != nil {
+			deadline /= warmBudgetDiv
+		}
+	}
+	if deadline != 0 {
+		opts.Deadline = start.Add(deadline)
+	}
 	lpSpan := sp.Child("lp")
-	sol, err := b.model.SolveFrom(ws)
+	sol, err := b.model.SolveWith(ws, opts)
 	lpSpan.End()
 	if se != nil && sol != nil && sol.Warm() != nil {
 		se.warm = sol.Warm()
 	}
-	stats := &Stats{
-		Status:              sol.Status,
-		Objective:           sol.Objective,
+	stats = &Stats{
 		Vars:                b.model.NumVars(),
 		Constraints:         b.model.NumRows(),
 		EncodingVars:        b.encVars,
 		EncodingConstraints: b.encCons,
-		Iters:               sol.Iters,
 		SolveTime:           time.Since(start),
 		BuildTime:           buildTime,
-		LP:                  sol.Stats,
-		Warm:                sol.Stats.Warm,
 		ModelReused:         reused,
+		Outcome:             outcomeOf(sol, err),
+	}
+	if sol != nil {
+		stats.Status = sol.Status
+		stats.Objective = sol.Objective
+		stats.Iters = sol.Iters
+		stats.LP = sol.Stats
+		stats.Warm = sol.Stats.Warm
+	}
+	if deadline > 0 && obs.Enabled() {
+		obsSolveVsDeadline.Observe(int64(100 * stats.SolveTime / deadline))
 	}
 	if err != nil {
 		sp.End()
-		return nil, stats, fmt.Errorf("core: TE solve failed: %w", err)
+		var be *lp.BudgetError
+		if errors.As(err, &be) && be.Best != nil {
+			// The budget hit after feasibility: hand back the best-so-far
+			// plan with the error so the caller may install it rather than
+			// fall back to the last-good configuration.
+			st = b.extract(be.Best)
+		}
+		return st, stats, fmt.Errorf("core: TE solve failed: %w", err)
 	}
 	extract := sp.Child("extract")
-	st := b.extract(sol)
+	st = b.extract(sol)
 	extract.End()
 	defer sp.End()
 	switch s.Opts.Objective {
@@ -513,6 +574,22 @@ func (s *Solver) solve(in Input, se *Session) (*State, *Stats, error) {
 		}
 	}
 	return st, stats, nil
+}
+
+// outcomeOf classifies an lp solve result (sol may be nil after a
+// recovered solver panic).
+func outcomeOf(sol *lp.Solution, err error) Outcome {
+	switch {
+	case err == nil:
+		return OutcomeOptimal
+	case sol == nil:
+		return OutcomeSolverError
+	case sol.Status == lp.BudgetExceeded || sol.Status == lp.IterLimit:
+		return OutcomeBudgetHit
+	case sol.Status == lp.Infeasible || sol.Status == lp.Unbounded:
+		return OutcomeInfeasible
+	}
+	return OutcomeSolverError
 }
 
 // almostLE reports a ≤ b within the verification tolerance.

@@ -49,6 +49,15 @@ type Env struct {
 	// to every sim.RunConfig the harness builds and to Table2's per-config
 	// solve chains. Mutable between figure runs.
 	WarmStart bool
+	// SolverDeadline bounds every per-interval TE solve the harness runs; a
+	// solve that misses it degrades the interval to the last-good plan (see
+	// sim.RunConfig.SolverDeadline). Zero means unbounded. Mutable between
+	// figure runs.
+	SolverDeadline time.Duration
+	// SolverFaults injects controller failures (timeouts, crashes, stale
+	// results) into every sim the harness builds. Mutable between figure
+	// runs.
+	SolverFaults faults.SolverFaultModel
 }
 
 // EnvConfig sizes an environment.
@@ -80,6 +89,12 @@ type EnvConfig struct {
 	// harness (see Env.WarmStart). Optima match cold runs; the simplex may
 	// pick a different vertex among ties.
 	WarmStart bool
+	// SolverDeadline bounds each per-interval TE solve (see
+	// Env.SolverDeadline). Zero means unbounded.
+	SolverDeadline time.Duration
+	// SolverFaults injects controller failures into every sim run (see
+	// Env.SolverFaults).
+	SolverFaults faults.SolverFaultModel
 }
 
 func (c *EnvConfig) fill() {
@@ -108,7 +123,21 @@ func buildEnv(name string, net *topology.Network, cfg EnvConfig) (*Env, error) {
 	if err != nil {
 		return nil, fmt.Errorf("experiments: calibrating %s: %w", name, err)
 	}
-	return &Env{Name: name, Net: net, Tun: tun, Series: series, Scale1: scale1, Seed: cfg.Seed, Opts: opts, Parallelism: cfg.Parallelism, WarmStart: cfg.WarmStart}, nil
+	return &Env{Name: name, Net: net, Tun: tun, Series: series, Scale1: scale1, Seed: cfg.Seed, Opts: opts, Parallelism: cfg.Parallelism, WarmStart: cfg.WarmStart, SolverDeadline: cfg.SolverDeadline, SolverFaults: cfg.SolverFaults}, nil
+}
+
+// runCfg seeds a sim.RunConfig with the environment-wide solver settings:
+// LP options, warm starting, the per-solve deadline, and injected
+// controller faults. Figure runners layer protection/priority config on
+// top of it.
+func (e *Env) runCfg(prot core.Protection) sim.RunConfig {
+	return sim.RunConfig{
+		Prot:           prot,
+		SolverOpts:     e.Opts,
+		WarmStart:      e.WarmStart,
+		SolverDeadline: e.SolverDeadline,
+		SolverFaults:   e.SolverFaults,
+	}
 }
 
 // NewLNet builds the L-Net-like environment.
@@ -409,8 +438,8 @@ func Fig13(e *Env, w io.Writer, models []faults.SwitchModel, scales []float64) (
 	for _, model := range models {
 		for _, scale := range scales {
 			sc := e.Scenario(scale, model)
-			jobs = append(jobs, job{sc, sim.RunConfig{SolverOpts: e.Opts, WarmStart: e.WarmStart}})
-			jobs = append(jobs, job{sc, sim.RunConfig{Prot: core.Protection{Kc: 2, Ke: 1}, SolverOpts: e.Opts, WarmStart: e.WarmStart}})
+			jobs = append(jobs, job{sc, e.runCfg(core.None)})
+			jobs = append(jobs, job{sc, e.runCfg(core.Protection{Kc: 2, Ke: 1})})
 		}
 	}
 	results := make([]*sim.Result, len(jobs))
@@ -471,10 +500,9 @@ func Fig14(e *Env, w io.Writer, model faults.SwitchModel) ([]Fig14Row, error) {
 
 	// The protected and baseline cascades replay the same scenario
 	// independently; RunMany runs them concurrently.
-	res, err := sim.RunMany(sc, []sim.RunConfig{
-		{Multi: multiBase, SolverOpts: e.Opts, WarmStart: e.WarmStart},
-		{Multi: multiProt, SolverOpts: e.Opts, WarmStart: e.WarmStart},
-	})
+	baseCfg, protCfg := e.runCfg(core.None), e.runCfg(core.None)
+	baseCfg.Multi, protCfg.Multi = multiBase, multiProt
+	res, err := sim.RunMany(sc, []sim.RunConfig{baseCfg, protCfg})
 	if err != nil {
 		return nil, err
 	}
@@ -532,9 +560,9 @@ func Fig15(e *Env, w io.Writer, scales []float64, maxKe int) ([]Fig15Point, erro
 	var jobs []job
 	for _, scale := range scales {
 		sc := e.Scenario(scale, faults.Realistic())
-		jobs = append(jobs, job{sc, sim.RunConfig{SolverOpts: e.Opts, WarmStart: e.WarmStart}})
+		jobs = append(jobs, job{sc, e.runCfg(core.None)})
 		for ke := 1; ke <= maxKe; ke++ {
-			jobs = append(jobs, job{sc, sim.RunConfig{Prot: core.Protection{Ke: ke}, SolverOpts: e.Opts, WarmStart: e.WarmStart}})
+			jobs = append(jobs, job{sc, e.runCfg(core.Protection{Ke: ke})})
 		}
 	}
 	results := make([]*sim.Result, len(jobs))

@@ -1,0 +1,114 @@
+package faults
+
+import (
+	"fmt"
+	"math/rand"
+	"strconv"
+	"strings"
+)
+
+// SolverFaultKind enumerates injected controller failures — the control
+// loop's own failure modes, as opposed to the data-plane faults FFC
+// protects against. The sim uses them to measure availability when the TE
+// computation itself misses its window.
+type SolverFaultKind int8
+
+const (
+	// SolverTimeout makes the interval's TE solves start with their
+	// deadline already expired: the controller missed its computation
+	// window.
+	SolverTimeout SolverFaultKind = iota
+	// SolverCrash panics inside the simplex iteration loop (via the budget
+	// hook), modeling a controller bug; the lp boundary recovers it into
+	// an error.
+	SolverCrash
+	// SolverStale lets the solve complete but discards the fresh plan,
+	// modeling a result that arrives after the installation window.
+	SolverStale
+)
+
+func (k SolverFaultKind) String() string {
+	switch k {
+	case SolverTimeout:
+		return "timeout"
+	case SolverCrash:
+		return "crash"
+	case SolverStale:
+		return "stale"
+	}
+	return "?"
+}
+
+// SolverFaultModel injects controller failures into a simulated control
+// loop. The rates are per TE interval and mutually exclusive: one uniform
+// draw is classified in timeout, crash, stale order, so the rates must sum
+// to ≤ 1.
+type SolverFaultModel struct {
+	TimeoutRate float64
+	CrashRate   float64
+	StaleRate   float64
+	// Force pins specific intervals (0-based) to a fault kind regardless
+	// of the rates and without consuming a random draw — deterministic
+	// injection for tests and the CI soak.
+	Force map[int]SolverFaultKind
+}
+
+// Enabled reports whether the model can inject anything at all.
+func (m *SolverFaultModel) Enabled() bool {
+	return m.TimeoutRate > 0 || m.CrashRate > 0 || m.StaleRate > 0 || len(m.Force) > 0
+}
+
+// Sample decides the interval's fate. It draws from rng only when rates
+// are configured, so enabling Force-only (or no) injection leaves the
+// fault streams of existing runs bit-identical.
+func (m *SolverFaultModel) Sample(interval int, rng *rand.Rand) (SolverFaultKind, bool) {
+	if k, ok := m.Force[interval]; ok {
+		return k, true
+	}
+	if m.TimeoutRate <= 0 && m.CrashRate <= 0 && m.StaleRate <= 0 {
+		return 0, false
+	}
+	u := rng.Float64()
+	switch {
+	case u < m.TimeoutRate:
+		return SolverTimeout, true
+	case u < m.TimeoutRate+m.CrashRate:
+		return SolverCrash, true
+	case u < m.TimeoutRate+m.CrashRate+m.StaleRate:
+		return SolverStale, true
+	}
+	return 0, false
+}
+
+// ParseSolverFaults parses a CLI spec like "timeout=0.1,crash=0.01" into a
+// model. The empty string yields a disabled model.
+func ParseSolverFaults(spec string) (SolverFaultModel, error) {
+	var m SolverFaultModel
+	if spec == "" {
+		return m, nil
+	}
+	for _, part := range strings.Split(spec, ",") {
+		kv := strings.SplitN(strings.TrimSpace(part), "=", 2)
+		if len(kv) != 2 {
+			return m, fmt.Errorf("faults: bad solver-fault term %q (want kind=rate)", part)
+		}
+		rate, err := strconv.ParseFloat(kv[1], 64)
+		if err != nil || rate < 0 || rate > 1 {
+			return m, fmt.Errorf("faults: bad solver-fault rate %q (want a probability in [0,1])", kv[1])
+		}
+		switch kv[0] {
+		case "timeout":
+			m.TimeoutRate = rate
+		case "crash":
+			m.CrashRate = rate
+		case "stale":
+			m.StaleRate = rate
+		default:
+			return m, fmt.Errorf("faults: unknown solver-fault kind %q (want timeout, crash, or stale)", kv[0])
+		}
+	}
+	if s := m.TimeoutRate + m.CrashRate + m.StaleRate; s > 1 {
+		return m, fmt.Errorf("faults: solver-fault rates sum to %g > 1", s)
+	}
+	return m, nil
+}

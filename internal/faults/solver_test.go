@@ -1,0 +1,98 @@
+package faults
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestParseSolverFaults(t *testing.T) {
+	m, err := ParseSolverFaults("timeout=0.1,crash=0.01,stale=0.02")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.TimeoutRate != 0.1 || m.CrashRate != 0.01 || m.StaleRate != 0.02 {
+		t.Fatalf("parsed %+v", m)
+	}
+	if !m.Enabled() {
+		t.Fatalf("parsed model not enabled")
+	}
+
+	m, err = ParseSolverFaults("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Enabled() {
+		t.Fatalf("empty spec produced an enabled model: %+v", m)
+	}
+
+	m, err = ParseSolverFaults(" timeout=0.5 , stale=0.25 ")
+	if err != nil {
+		t.Fatalf("spaced spec rejected: %v", err)
+	}
+	if m.TimeoutRate != 0.5 || m.StaleRate != 0.25 {
+		t.Fatalf("parsed %+v", m)
+	}
+
+	for _, bad := range []string{
+		"timeout",               // missing =rate
+		"timeout=",              // empty rate
+		"timeout=x",             // non-numeric
+		"timeout=-0.1",          // negative
+		"timeout=1.5",           // above 1
+		"reboot=0.1",            // unknown kind
+		"timeout=0.6,crash=0.6", // rates sum above 1
+	} {
+		if _, err := ParseSolverFaults(bad); err == nil {
+			t.Fatalf("spec %q parsed without error", bad)
+		}
+	}
+}
+
+func TestSolverFaultSampleDeterminism(t *testing.T) {
+	// A disabled model and a Force-only model must not consume random
+	// draws, so enabling deterministic injection keeps existing fault
+	// streams bit-identical.
+	ref := rand.New(rand.NewSource(7)).Float64()
+
+	rng := rand.New(rand.NewSource(7))
+	var off SolverFaultModel
+	if _, ok := off.Sample(0, rng); ok {
+		t.Fatalf("disabled model injected a fault")
+	}
+	if got := rng.Float64(); got != ref {
+		t.Fatalf("disabled model consumed a draw: %v != %v", got, ref)
+	}
+
+	rng = rand.New(rand.NewSource(7))
+	forced := SolverFaultModel{Force: map[int]SolverFaultKind{3: SolverCrash}}
+	if k, ok := forced.Sample(3, rng); !ok || k != SolverCrash {
+		t.Fatalf("forced interval sampled (%v, %v)", k, ok)
+	}
+	if _, ok := forced.Sample(4, rng); ok {
+		t.Fatalf("unforced interval injected a fault")
+	}
+	if got := rng.Float64(); got != ref {
+		t.Fatalf("Force-only model consumed a draw: %v != %v", got, ref)
+	}
+}
+
+func TestSolverFaultSampleRates(t *testing.T) {
+	m := SolverFaultModel{TimeoutRate: 0.2, CrashRate: 0.2, StaleRate: 0.2}
+	rng := rand.New(rand.NewSource(9))
+	counts := map[SolverFaultKind]int{}
+	const n = 20000
+	for i := 0; i < n; i++ {
+		if k, ok := m.Sample(i, rng); ok {
+			counts[k]++
+		}
+	}
+	for _, k := range []SolverFaultKind{SolverTimeout, SolverCrash, SolverStale} {
+		frac := float64(counts[k]) / n
+		if frac < 0.18 || frac > 0.22 {
+			t.Fatalf("%v rate %v, want ≈0.2", k, frac)
+		}
+	}
+	if SolverTimeout.String() != "timeout" || SolverCrash.String() != "crash" || SolverStale.String() != "stale" {
+		t.Fatalf("kind names wrong")
+	}
+}

@@ -1,0 +1,219 @@
+package lp
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// feasibleLE builds a model that is feasible at the origin (all LE rows,
+// nonnegative RHS), so the cold crash seats a feasible slack basis and the
+// solve starts directly in Phase II.
+func feasibleLE(rng *rand.Rand, n int) *Model {
+	m := NewModel()
+	vars := make([]Var, n)
+	for j := range vars {
+		vars[j] = m.NewVar("x", 0, Inf)
+	}
+	obj := NewExpr()
+	for j, v := range vars {
+		obj.Add(1+rng.Float64(), v)
+		_ = j
+	}
+	for i := 0; i < n; i++ {
+		e := NewExpr()
+		for j, v := range vars {
+			if j == i || rng.Float64() < 0.3 {
+				e.Add(0.1+rng.Float64(), v)
+			}
+		}
+		m.AddLE(e, 1+10*rng.Float64())
+	}
+	m.Maximize(obj)
+	return m
+}
+
+func checkFeasiblePoint(t *testing.T, m *Model, sol *Solution) {
+	t.Helper()
+	for j := range m.cols {
+		c := &m.cols[j]
+		if sol.X[j] < c.lo-1e-6 || sol.X[j] > c.hi+1e-6 {
+			t.Fatalf("X[%d] = %g outside [%g, %g]", j, sol.X[j], c.lo, c.hi)
+		}
+	}
+	for i := range m.rows {
+		var v float64
+		for j := range m.cols {
+			c := &m.cols[j]
+			for k, r := range c.rowIdx {
+				if int(r) == i {
+					v += c.rowCoef[k] * sol.X[j]
+				}
+			}
+		}
+		r := &m.rows[i]
+		switch r.sense {
+		case LE:
+			if v > r.rhs+1e-6 {
+				t.Fatalf("row %d: %g > %g", i, v, r.rhs)
+			}
+		case GE:
+			if v < r.rhs-1e-6 {
+				t.Fatalf("row %d: %g < %g", i, v, r.rhs)
+			}
+		case EQ:
+			if !almost(v, r.rhs, 1e-6) {
+				t.Fatalf("row %d: %g != %g", i, v, r.rhs)
+			}
+		}
+	}
+}
+
+func TestBudgetExpiredDeadline(t *testing.T) {
+	m := feasibleLE(rand.New(rand.NewSource(1)), 20)
+	sol, err := m.SolveWith(nil, SolveOpts{Deadline: time.Now().Add(-time.Second)})
+	if !errors.Is(err, ErrBudgetExceeded) {
+		t.Fatalf("err = %v, want ErrBudgetExceeded", err)
+	}
+	if sol.Status != BudgetExceeded {
+		t.Fatalf("status = %v, want budget-exceeded", sol.Status)
+	}
+	if sol.Iters != 0 {
+		t.Fatalf("expired deadline still ran %d iterations", sol.Iters)
+	}
+	var be *BudgetError
+	if !errors.As(err, &be) || be.Reason != BudgetDeadline {
+		t.Fatalf("err = %#v, want BudgetError{Reason: deadline}", err)
+	}
+	// Feasible at the crash point, so a best-so-far point must be offered
+	// and must satisfy the constraints.
+	if be.Best == nil {
+		t.Fatalf("no best-so-far point despite feasible start")
+	}
+	checkFeasiblePoint(t, m, be.Best)
+}
+
+func TestBudgetExpiredDeadlineMidPhase1(t *testing.T) {
+	// GE rows force Phase I; an already-expired deadline stops the solve
+	// before feasibility is proven, so no best-so-far point may be offered.
+	m := NewModel()
+	x := m.NewVar("x", 0, 10)
+	y := m.NewVar("y", 0, 10)
+	m.AddGE(NewExpr().Add(1, x).Add(1, y), 5)
+	m.AddGE(NewExpr().Add(2, x).Add(1, y), 7)
+	m.Minimize(NewExpr().Add(1, x).Add(3, y))
+	sol, err := m.SolveWith(nil, SolveOpts{Deadline: time.Now().Add(-time.Minute)})
+	var be *BudgetError
+	if !errors.As(err, &be) {
+		t.Fatalf("err = %v, want *BudgetError", err)
+	}
+	if be.Best != nil {
+		t.Fatalf("mid-Phase-1 budget hit offered a 'feasible' point: %+v", be.Best)
+	}
+	if sol.Status != BudgetExceeded {
+		t.Fatalf("status = %v, want budget-exceeded", sol.Status)
+	}
+}
+
+func TestBudgetMaxItersCarriesBestFeasible(t *testing.T) {
+	m := feasibleLE(rand.New(rand.NewSource(2)), 40)
+	ref, err := m.Solve()
+	requireOptimal(t, ref, err)
+	if ref.Iters <= 2 {
+		t.Skipf("problem solved in %d iterations; nothing to budget", ref.Iters)
+	}
+	sol, err := m.SolveWith(nil, SolveOpts{MaxIters: 2})
+	var be *BudgetError
+	if !errors.As(err, &be) || be.Reason != BudgetIters {
+		t.Fatalf("err = %v, want BudgetError{Reason: iterations}", err)
+	}
+	if sol.Iters != 2 {
+		t.Fatalf("iteration budget 2 ran %d iterations", sol.Iters)
+	}
+	if be.Best == nil {
+		t.Fatalf("Phase-II budget hit carried no best-so-far point")
+	}
+	checkFeasiblePoint(t, m, be.Best)
+	if be.Best.Objective > ref.Objective+1e-6 {
+		t.Fatalf("truncated objective %g beats the optimum %g", be.Best.Objective, ref.Objective)
+	}
+}
+
+func TestBudgetPreCanceledContext(t *testing.T) {
+	m := feasibleLE(rand.New(rand.NewSource(3)), 20)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	sol, err := m.SolveWith(nil, SolveOpts{Ctx: ctx})
+	var be *BudgetError
+	if !errors.As(err, &be) || be.Reason != BudgetCanceled {
+		t.Fatalf("err = %v, want BudgetError{Reason: canceled}", err)
+	}
+	if sol.Iters != 0 {
+		t.Fatalf("pre-canceled context still ran %d iterations", sol.Iters)
+	}
+}
+
+func TestBudgetCancelStopsWithinOneBatch(t *testing.T) {
+	m := feasibleLE(rand.New(rand.NewSource(4)), 120)
+	ref, err := m.Solve()
+	requireOptimal(t, ref, err)
+	if ref.Iters <= budgetBatch {
+		t.Fatalf("problem solved in %d iterations; cannot exercise mid-solve cancel", ref.Iters)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	canceledAt := -1
+	sol, err := m.SolveWith(nil, SolveOpts{
+		Ctx: ctx,
+		Hook: func(iters int) {
+			if iters > 0 && canceledAt < 0 {
+				canceledAt = iters
+				cancel()
+			}
+		},
+	})
+	var be *BudgetError
+	if !errors.As(err, &be) || be.Reason != BudgetCanceled {
+		t.Fatalf("err = %v, want BudgetError{Reason: canceled}", err)
+	}
+	if canceledAt < 0 {
+		t.Fatalf("hook never saw a positive iteration count")
+	}
+	// The simplex must stop within one iteration batch of the cancellation.
+	if got := sol.Iters - canceledAt; got < 0 || got > budgetBatch {
+		t.Fatalf("stopped %d iterations after cancel, want within %d", got, budgetBatch)
+	}
+	if be.Best == nil {
+		t.Fatalf("Phase-II cancellation carried no best-so-far point")
+	}
+	checkFeasiblePoint(t, m, be.Best)
+}
+
+func TestBudgetGenerousDeadlineSolvesToOptimal(t *testing.T) {
+	m := feasibleLE(rand.New(rand.NewSource(5)), 40)
+	hooked := 0
+	sol, err := m.SolveWith(nil, SolveOpts{
+		Deadline: time.Now().Add(time.Minute),
+		Ctx:      context.Background(),
+		Hook:     func(int) { hooked++ },
+	})
+	requireOptimal(t, sol, err)
+	if hooked == 0 {
+		t.Fatalf("hook never ran")
+	}
+}
+
+func TestSolverPanicRecovered(t *testing.T) {
+	m := feasibleLE(rand.New(rand.NewSource(6)), 20)
+	sol, err := m.SolveWith(nil, SolveOpts{
+		Hook: func(int) { panic("injected solver crash") },
+	})
+	if !errors.Is(err, ErrSolverPanic) {
+		t.Fatalf("err = %v, want ErrSolverPanic", err)
+	}
+	if sol != nil {
+		t.Fatalf("recovered panic returned a solution: %+v", sol)
+	}
+}

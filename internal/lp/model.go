@@ -44,6 +44,9 @@ const (
 	Unbounded
 	// IterLimit means the solver gave up after MaxIters iterations.
 	IterLimit
+	// BudgetExceeded means a SolveOpts budget (deadline, iteration cap, or
+	// context cancellation) stopped the solve; see BudgetError.
+	BudgetExceeded
 )
 
 func (s Status) String() string {
@@ -56,6 +59,8 @@ func (s Status) String() string {
 		return "unbounded"
 	case IterLimit:
 		return "iteration-limit"
+	case BudgetExceeded:
+		return "budget-exceeded"
 	}
 	return "unknown"
 }
@@ -230,6 +235,12 @@ type Solution struct {
 	// warm is the reusable basis snapshot (nil unless the solve reached
 	// optimality on a model with rows).
 	warm *WarmStart
+
+	// budgetReason and budgetFeasible describe a BudgetExceeded stop: why
+	// the budget fired and whether X holds a primal-feasible point (the
+	// stop landed in Phase II).
+	budgetReason   string
+	budgetFeasible bool
 }
 
 // Value returns the solution value of v.
@@ -242,7 +253,7 @@ func (s *Solution) Warm() *WarmStart { return s.warm }
 // Solve runs presolve then the simplex method. On non-optimal outcomes it
 // returns a Solution carrying the status plus an error wrapping
 // ErrNotOptimal.
-func (m *Model) Solve() (*Solution, error) { return m.SolveFrom(nil) }
+func (m *Model) Solve() (*Solution, error) { return m.SolveWith(nil, SolveOpts{}) }
 
 // SolveFrom is Solve starting from a previous solution's basis: the warm
 // handle is mapped through the current presolve plan and crash-repaired
@@ -251,13 +262,28 @@ func (m *Model) Solve() (*Solution, error) { return m.SolveFrom(nil) }
 // that no longer fits the model (structure changed) is ignored; passing nil
 // is exactly Solve.
 func (m *Model) SolveFrom(ws *WarmStart) (*Solution, error) {
+	return m.SolveWith(ws, SolveOpts{})
+}
+
+// SolveWith is SolveFrom under a budget (see SolveOpts). It is the single
+// public solve boundary: a budget stop returns the Solution (status
+// BudgetExceeded) plus a *BudgetError carrying the best feasible point when
+// one exists, and any panic escaping the solver internals — or the
+// caller's Hook — is recovered into an error wrapping ErrSolverPanic
+// (with a nil Solution), so a long-running controller never dies here.
+func (m *Model) SolveWith(ws *WarmStart, opts SolveOpts) (sol *Solution, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			sol = nil
+			err = fmt.Errorf("%w: %v", ErrSolverPanic, r)
+		}
+	}()
 	sp := obs.StartSpan("lp.solve")
 	pre, preCached := m.presolveFor()
 	wsMismatch := ws != nil && !ws.fits(m)
 	if wsMismatch {
 		ws = nil
 	}
-	var sol *Solution
 	switch {
 	case pre.infeasible:
 		sol = &Solution{Status: Infeasible, X: make([]float64, len(m.cols)), Duals: make([]float64, len(m.rows))}
@@ -274,10 +300,10 @@ func (m *Model) SolveFrom(ws *WarmStart) (*Solution, error) {
 			rm = pre.reducedModel(m)
 			m.redCache = rm
 		}
-		inner := solveSimplex(rm, pre.restrictWarm(ws))
+		inner := solveSimplex(rm, pre.restrictWarm(ws), opts)
 		sol = pre.expand(m, inner)
 	default:
-		sol = solveSimplex(m, ws)
+		sol = solveSimplex(m, ws, opts)
 	}
 	sol.Stats.PresolveRows = len(m.rows) - len(pre.origRow)
 	sol.Stats.PresolveCols = len(m.cols) - len(pre.origCol)
@@ -288,10 +314,18 @@ func (m *Model) SolveFrom(ws *WarmStart) (*Solution, error) {
 	sol.Stats.publish(sol.Status)
 	sp.End()
 	sol.Objective += m.objConst
-	if sol.Status != Optimal {
+	switch sol.Status {
+	case Optimal:
+		return sol, nil
+	case BudgetExceeded:
+		be := &BudgetError{Reason: sol.budgetReason}
+		if sol.budgetFeasible {
+			be.Best = sol
+		}
+		return sol, be
+	default:
 		return sol, fmt.Errorf("%w: %s", ErrNotOptimal, sol.Status)
 	}
-	return sol, nil
 }
 
 // EvalExpr evaluates expr at the solution point.

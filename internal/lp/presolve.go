@@ -227,11 +227,13 @@ func (p *presolved) refreshReduced(m, rm *Model) {
 // expand maps a reduced-model solution back to the original index spaces.
 func (p *presolved) expand(m *Model, sol *Solution) *Solution {
 	out := &Solution{
-		Status: sol.Status,
-		Iters:  sol.Iters,
-		Stats:  sol.Stats,
-		X:      make([]float64, len(m.cols)),
-		Duals:  make([]float64, len(m.rows)),
+		Status:         sol.Status,
+		Iters:          sol.Iters,
+		Stats:          sol.Stats,
+		X:              make([]float64, len(m.cols)),
+		Duals:          make([]float64, len(m.rows)),
+		budgetReason:   sol.budgetReason,
+		budgetFeasible: sol.budgetFeasible,
 	}
 	for j := range m.cols {
 		if nj := p.newCol[j]; nj >= 0 {

@@ -1,6 +1,9 @@
 package lp
 
-import "math"
+import (
+	"math"
+	"time"
+)
 
 // Solver tolerances. The FFC models are well scaled (capacities and demands
 // are normalized to O(1..100) units by the callers), so fixed tolerances
@@ -45,10 +48,17 @@ type simplexState struct {
 	maxIters int
 	nArtif   int
 	stats    SolveStats // work counters, filled as the solve progresses
+
+	// Budget checkpointing (SolveOpts). checkBudget gates the whole block
+	// so an unbudgeted solve pays one boolean test per iteration;
+	// budgetReason records why a BudgetExceeded stop fired.
+	opts         SolveOpts
+	checkBudget  bool
+	budgetReason string
 }
 
-func solveSimplex(model *Model, ws *WarmStart) *Solution {
-	s := newState(model, ws)
+func solveSimplex(model *Model, ws *WarmStart, opts SolveOpts) *Solution {
+	s := newState(model, ws, opts)
 	sol := &Solution{X: make([]float64, len(model.cols))}
 	if s == nil {
 		// No rows: every variable independently sits at its objective-
@@ -83,7 +93,13 @@ func solveSimplex(model *Model, ws *WarmStart) *Solution {
 	s.stats.Iters = s.iters
 	s.stats.BasisNnz = s.rep.nnzCount()
 	sol.Stats = s.stats
-	if st == Optimal || st == IterLimit {
+	if st == BudgetExceeded {
+		sol.budgetReason = s.budgetReason
+		// Phase-II iterates are primal-feasible, so a Phase-II stop has a
+		// usable best-so-far point; a mid-Phase-I stop does not.
+		sol.budgetFeasible = !s.phase1
+	}
+	if st == Optimal || st == IterLimit || (st == BudgetExceeded && !s.phase1) {
 		xs := s.extract()
 		copy(sol.X, xs[:s.nStruct])
 		sol.Objective = objValue(model, sol.X)
@@ -134,13 +150,13 @@ func nearestBound(lo, hi float64) float64 {
 // basis install (when ws matches) or the cold diagonal crash — initial
 // point with structural variables at a bound, slack basic where feasible,
 // artificials elsewhere. Returns nil for a completely empty model.
-func newState(model *Model, ws *WarmStart) *simplexState {
+func newState(model *Model, ws *WarmStart, opts SolveOpts) *simplexState {
 	m := len(model.rows)
 	nS := len(model.cols)
 	if m == 0 {
 		return nil
 	}
-	s := &simplexState{m: m, nStruct: nS}
+	s := &simplexState{m: m, nStruct: nS, opts: opts, checkBudget: !opts.unbounded()}
 	total := nS + m // artificials appended later
 	s.colIdx = make([][]int32, total, total+m)
 	s.colCoef = make([][]float64, total, total+m)
@@ -480,6 +496,33 @@ func (s *simplexState) run() Status {
 	return s.optimize()
 }
 
+// budgetCheckpoint enforces SolveOpts at the iteration-loop head. The
+// iteration cap is exact; deadline, cancellation, and the hook fire every
+// budgetBatch iterations — including at iteration 0, so a solve whose
+// deadline already passed (or whose context is already canceled) stops
+// before the first pivot. Returns Optimal to mean "keep iterating".
+func (s *simplexState) budgetCheckpoint() Status {
+	if s.opts.MaxIters > 0 && s.iters >= s.opts.MaxIters {
+		s.budgetReason = BudgetIters
+		return BudgetExceeded
+	}
+	if s.iters%budgetBatch != 0 {
+		return Optimal
+	}
+	if s.opts.Hook != nil {
+		s.opts.Hook(s.iters)
+	}
+	if s.opts.Ctx != nil && s.opts.Ctx.Err() != nil {
+		s.budgetReason = BudgetCanceled
+		return BudgetExceeded
+	}
+	if !s.opts.Deadline.IsZero() && time.Now().After(s.opts.Deadline) {
+		s.budgetReason = BudgetDeadline
+		return BudgetExceeded
+	}
+	return Optimal
+}
+
 // optimize runs primal simplex iterations until optimality for the current
 // phase's cost vector.
 func (s *simplexState) optimize() Status {
@@ -491,6 +534,11 @@ func (s *simplexState) optimize() Status {
 	for {
 		if s.iters >= s.maxIters {
 			return IterLimit
+		}
+		if s.checkBudget {
+			if st := s.budgetCheckpoint(); st != Optimal {
+				return st
+			}
 		}
 		q, dir := s.chooseEntering(bland)
 		if q < 0 {

@@ -63,6 +63,7 @@ var (
 	obsWarmRepairs  = obs.NewCounter("lp.warm_repairs")
 	obsWarmFellBack = obs.NewCounter("lp.warm_fallbacks")
 	obsPreCacheHits = obs.NewCounter("lp.presolve_cache_hits")
+	obsBudgetHits   = obs.NewCounter("lp.budget_hits")
 )
 
 // publish pushes one solve's stats into the registry.
@@ -70,6 +71,9 @@ func (st *SolveStats) publish(status Status) {
 	obsSolves.Inc()
 	if status != Optimal {
 		obsNotOptimal.Inc()
+	}
+	if status == BudgetExceeded {
+		obsBudgetHits.Inc()
 	}
 	obsIters.Add(int64(st.Iters))
 	obsPhase1Iters.Add(int64(st.Phase1Iters))

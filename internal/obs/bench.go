@@ -27,6 +27,26 @@ type BenchEntry struct {
 	Cases    int64            `json:"cases,omitempty"`   // fault cases enumerated per op, when meaningful
 	Speedup  float64          `json:"speedup,omitempty"` // serial/parallel ratio, when meaningful
 	Counters map[string]int64 `json:"counters,omitempty"`
+	// Tags mark entries the regression gate must treat specially. The only
+	// recognized tag today is BenchTagDegraded: the run had solver-fault
+	// injection or a solve deadline active, so its timings measure the
+	// degraded control loop, not the solver. Additive: absent in older
+	// files, so the schema version stays 1.
+	Tags []string `json:"tags,omitempty"`
+}
+
+// BenchTagDegraded marks entries measured under solver-fault injection or
+// a per-solve deadline; CompareBench excludes them from gating.
+const BenchTagDegraded = "degraded"
+
+// Tagged reports whether the entry carries the given tag.
+func (e *BenchEntry) Tagged(tag string) bool {
+	for _, t := range e.Tags {
+		if t == tag {
+			return true
+		}
+	}
+	return false
 }
 
 // BenchFile is the on-disk BENCH_*.json format: the repo's perf
@@ -183,20 +203,32 @@ type Regression struct {
 // it (committed baselines come from different machines; the gate should
 // only fire when we regress past the slowest recorded one). Entries in
 // current with no baseline are returned in unmatched, never gated.
+// Entries tagged BenchTagDegraded — on either side — are excluded from
+// gating entirely: degraded-mode timings measure the fallback path, not
+// solver performance. Such current entries are returned in ignored, and
+// such baseline entries contribute nothing to the reference.
 // A regression is current > maxRatio × baseline.
-func CompareBench(baselines []*BenchFile, current *BenchFile, maxRatio float64) (regs []Regression, matched, unmatched []string) {
+func CompareBench(baselines []*BenchFile, current *BenchFile, maxRatio float64) (regs []Regression, matched, unmatched, ignored []string) {
 	base := map[string]float64{}
 	for _, b := range baselines {
 		if b == nil {
 			continue
 		}
 		for _, e := range b.Benchmarks {
+			if e.Tagged(BenchTagDegraded) {
+				continue
+			}
 			if e.NsPerOp > base[e.Name] {
 				base[e.Name] = e.NsPerOp
 			}
 		}
 	}
-	for _, e := range current.Benchmarks {
+	for i := range current.Benchmarks {
+		e := &current.Benchmarks[i]
+		if e.Tagged(BenchTagDegraded) {
+			ignored = append(ignored, e.Name)
+			continue
+		}
 		ref, ok := base[e.Name]
 		if !ok || ref <= 0 {
 			unmatched = append(unmatched, e.Name)
@@ -213,5 +245,5 @@ func CompareBench(baselines []*BenchFile, current *BenchFile, maxRatio float64) 
 		}
 	}
 	sort.Slice(regs, func(i, j int) bool { return regs[i].Ratio > regs[j].Ratio })
-	return regs, matched, unmatched
+	return regs, matched, unmatched, ignored
 }

@@ -151,16 +151,49 @@ func TestCompareBench(t *testing.T) {
 		{Name: "Slow", NsPerOp: 2500}, // 2500 > 2×1000 → regression
 		{Name: "New", NsPerOp: 42},    // no baseline → unmatched, never gated
 	}}
-	regs, matched, unmatched := CompareBench([]*BenchFile{base1, nil, base2}, cur, 2.0)
-	if len(matched) != 2 || len(unmatched) != 1 || unmatched[0] != "New" {
-		t.Fatalf("matched=%v unmatched=%v", matched, unmatched)
+	regs, matched, unmatched, ignored := CompareBench([]*BenchFile{base1, nil, base2}, cur, 2.0)
+	if len(matched) != 2 || len(unmatched) != 1 || unmatched[0] != "New" || len(ignored) != 0 {
+		t.Fatalf("matched=%v unmatched=%v ignored=%v", matched, unmatched, ignored)
 	}
 	if len(regs) != 1 || regs[0].Name != "Slow" || regs[0].Ratio != 2.5 || regs[0].BaselineNs != 1000 {
 		t.Fatalf("regressions: %+v", regs)
 	}
 	// Tighten the gate and Fast regresses too; order is worst-first.
-	regs, _, _ = CompareBench([]*BenchFile{base1, base2}, cur, 1.5)
+	regs, _, _, _ = CompareBench([]*BenchFile{base1, base2}, cur, 1.5)
 	if len(regs) != 2 || regs[0].Name != "Slow" || regs[1].Name != "Fast" {
 		t.Fatalf("regressions (1.5x gate): %+v", regs)
+	}
+}
+
+func TestCompareBenchIgnoresDegradedEntries(t *testing.T) {
+	base := &BenchFile{Schema: 1, Label: "a", Benchmarks: []BenchEntry{
+		{Name: "Solve", NsPerOp: 1000},
+		// A degraded baseline must not weaken the reference for others.
+		{Name: "Other", NsPerOp: 5000, Tags: []string{BenchTagDegraded}},
+		{Name: "Other", NsPerOp: 100},
+	}}
+	cur := &BenchFile{Schema: 1, Label: "ci", Benchmarks: []BenchEntry{
+		// 10× over baseline, but the run was fault-injected: never gated.
+		{Name: "Solve", NsPerOp: 10000, Tags: []string{BenchTagDegraded}},
+		{Name: "Other", NsPerOp: 150},
+	}}
+	regs, matched, unmatched, ignored := CompareBench([]*BenchFile{base}, cur, 2.0)
+	if len(regs) != 0 {
+		t.Fatalf("degraded entry gated: %+v", regs)
+	}
+	if len(ignored) != 1 || ignored[0] != "Solve" {
+		t.Fatalf("ignored = %v, want [Solve]", ignored)
+	}
+	if len(matched) != 1 || matched[0] != "Other" || len(unmatched) != 0 {
+		t.Fatalf("matched=%v unmatched=%v", matched, unmatched)
+	}
+	// Degraded baseline excluded: a clean current entry gates against the
+	// clean 100, not the degraded 5000.
+	cur2 := &BenchFile{Schema: 1, Label: "ci", Benchmarks: []BenchEntry{
+		{Name: "Other", NsPerOp: 900},
+	}}
+	regs, _, _, _ = CompareBench([]*BenchFile{base}, cur2, 2.0)
+	if len(regs) != 1 || regs[0].BaselineNs != 100 {
+		t.Fatalf("degraded baseline leaked into the reference: %+v", regs)
 	}
 }

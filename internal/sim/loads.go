@@ -40,13 +40,23 @@ type intervalState struct {
 	staleUntil map[topology.SwitchID]time.Duration
 
 	striking []activeFault
+
+	// solverFault is this interval's injected controller failure, if any.
+	solverFault *faults.SolverFaultKind
+	// degraded is set to the reason the interval fell back to the
+	// last-good allocation ("" when all solves landed).
+	degraded string
 }
 
 // solveTE computes this interval's TE per class, cascading residual
 // capacity (§5.1). On LP infeasibility (possible when heavy faults shrink
 // the network below the protection level), the run falls back to
 // unprotected TE for the interval, mirroring the paper's "only big, rare
-// faults are handled reactively".
+// faults are handled reactively". Every other solve failure — a missed
+// deadline, a crashed solver, a plan arriving after its installation
+// window — degrades the class to its last successfully installed
+// allocation via core.Degrade; solveTE itself never fails on solver
+// trouble, which is the whole point of the robust control loop.
 func (iv *intervalState) solveTE(prev []*core.State) error {
 	iv.prev = prev
 	iv.states = make([]*core.State, len(iv.classes))
@@ -67,6 +77,23 @@ func (iv *intervalState) solveTE(prev []*core.State) error {
 			DownLinks:    iv.downLinks,
 			DownSwitches: iv.downSwitches,
 		}
+		in.Budget.Deadline = iv.cfg.SolverDeadline
+		injected := ""
+		if iv.solverFault != nil {
+			switch *iv.solverFault {
+			case faults.SolverTimeout:
+				// The controller missed its window: the solve starts with
+				// its deadline already expired, driving the real budget
+				// machinery rather than a simulated shortcut.
+				in.Budget.Deadline = -time.Nanosecond
+				injected = "timeout"
+			case faults.SolverCrash:
+				in.Budget.Hook = func(int) { panic("faults: injected solver crash") }
+				injected = "crash"
+			case faults.SolverStale:
+				injected = "stale"
+			}
+		}
 		var st *core.State
 		var stats *core.Stats
 		var err error
@@ -75,19 +102,43 @@ func (iv *intervalState) solveTE(prev []*core.State) error {
 		} else {
 			st, stats, err = iv.solver.Solve(in)
 		}
-		if err != nil {
+		if err != nil && stats != nil && stats.Outcome == core.OutcomeInfeasible {
 			// Retry unprotected (always cold: a one-shot solve with a
 			// different protection shape cannot reuse the session model).
 			in.Prot = core.None
 			st, stats, err = iv.solver.Solve(in)
-			if err != nil {
-				return err
+			if err == nil {
+				iv.res.InfeasibleIntervals++
 			}
-			iv.res.InfeasibleIntervals++
 		}
-		iv.res.SolveTime.Add(stats.SolveTime.Seconds())
-		if obs.Enabled() {
-			obsIntervalSolve.ObserveDuration(stats.SolveTime)
+		reason := ""
+		switch {
+		case err != nil:
+			reason = degradeReason(stats, injected)
+		case injected == "stale":
+			// The fresh plan missed its installation window; the network
+			// keeps running the previous configuration.
+			reason = "stale"
+		}
+		if reason != "" {
+			if iv.degraded == "" {
+				iv.degraded = reason
+				core.NoteDegradedInterval()
+			}
+			st = core.Degrade(iv.sc.Net, iv.sc.Tun, prev[ci], iv.downLinks, iv.downSwitches)
+			// The installed rate limiters persist, but flows only offer
+			// this interval's demand.
+			for f, r := range st.Rate {
+				if d := iv.demands[ci][f]; r > d {
+					st.Rate[f] = d
+				}
+			}
+		}
+		if err == nil && stats != nil {
+			iv.res.SolveTime.Add(stats.SolveTime.Seconds())
+			if obs.Enabled() {
+				obsIntervalSolve.ObserveDuration(stats.SolveTime)
+			}
 		}
 		iv.states[ci] = st
 		// §5.1: lower classes use capacity net of the traffic higher
@@ -102,6 +153,26 @@ func (iv *intervalState) solveTE(prev []*core.State) error {
 		}
 	}
 	return nil
+}
+
+// degradeReason names why a class's solve failed, for IntervalRecord
+// accounting; injected faults report their own kind.
+func degradeReason(stats *core.Stats, injected string) string {
+	if injected != "" {
+		return injected
+	}
+	if stats == nil {
+		return "solver-error"
+	}
+	switch stats.Outcome {
+	case core.OutcomeBudgetHit:
+		return "deadline"
+	case core.OutcomeInfeasible:
+		// The unprotected retry failed too (e.g. the network is partitioned
+		// below the demand set): serve the last-good plan.
+		return "infeasible"
+	}
+	return "solver-error"
 }
 
 func cloneCaps(m map[topology.LinkID]float64) map[topology.LinkID]float64 {

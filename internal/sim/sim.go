@@ -73,13 +73,27 @@ type RunConfig struct {
 	// Results can differ from cold solves only by the simplex's choice among
 	// alternate optima; the infeasible-interval fallback always solves cold.
 	WarmStart bool
+	// DetectDelaySet / ControlDetectSet mark an explicit zero in the
+	// corresponding field as intentional (instantaneous detection) instead
+	// of "unset, use the default" — the same sentinel-free pattern as
+	// experiments.EnvConfig.SeedSet.
+	DetectDelaySet   bool
+	ControlDetectSet bool
+	// SolverDeadline bounds each TE computation's wall clock; a solve that
+	// misses it degrades the interval to the last installed allocation
+	// (core.Degrade) instead of stalling the control loop. 0 = unlimited.
+	SolverDeadline time.Duration
+	// SolverFaults injects controller failures (timeout / crash / stale
+	// result) per interval to measure availability under controller
+	// trouble; the zero value injects nothing and consumes no randomness.
+	SolverFaults faults.SolverFaultModel
 }
 
 func (c *RunConfig) fill() {
-	if c.DetectDelay == 0 {
+	if c.DetectDelay == 0 && !c.DetectDelaySet {
 		c.DetectDelay = 50 * time.Millisecond
 	}
-	if c.ControlDetect == 0 {
+	if c.ControlDetect == 0 && !c.ControlDetectSet {
 		c.ControlDetect = time.Second
 	}
 }
@@ -107,6 +121,11 @@ type IntervalRecord struct {
 	LinkFaults, SwitchFaults, StaleSwitches int
 	// MaxOversub is the interval's worst link oversubscription ratio.
 	MaxOversub float64
+	// Degraded is empty when the interval's TE solves all landed; otherwise
+	// the reason the interval fell back to the last-good allocation
+	// ("timeout", "crash", "stale", "deadline", "infeasible",
+	// "solver-error").
+	Degraded string
 }
 
 // Result is one run's aggregate outcome. "Bytes" are rate-units × seconds.
@@ -126,6 +145,13 @@ type Result struct {
 	// InfeasibleIntervals counts intervals where the FFC LP had no
 	// feasible solution and the run fell back to the unprotected TE.
 	InfeasibleIntervals int
+	// DegradedIntervals counts intervals that served the last-good
+	// allocation because a solve missed its deadline, crashed, or arrived
+	// stale (see IntervalRecord.Degraded for per-interval reasons).
+	DegradedIntervals int
+	// DegradedOversub collects MaxOversub over degraded intervals only —
+	// the availability cost of controller failures.
+	DegradedOversub metrics.Dist
 }
 
 // ThroughputRatioVs returns this run's delivered bytes over the baseline's
@@ -196,6 +222,12 @@ func Run(sc Scenario, cfg RunConfig) (*Result, error) {
 			}
 		}
 
+		// Controller fault for this interval, if injected (one decision per
+		// interval: a dead controller affects every class's solve).
+		if k, ok := cfg.SolverFaults.Sample(t, rng); ok {
+			iv.solverFault = &k
+		}
+
 		// Per-class demand for this interval (plus backlog).
 		var splits map[tunnel.Flow]demand.Split
 		if cfg.Multi != nil {
@@ -229,6 +261,11 @@ func Run(sc Scenario, cfg RunConfig) (*Result, error) {
 			Lost:          res.Total.LossBytes - lostBefore,
 			StaleSwitches: len(iv.staleUntil),
 			MaxOversub:    worstOver,
+			Degraded:      iv.degraded,
+		}
+		if iv.degraded != "" {
+			res.DegradedIntervals++
+			res.DegradedOversub.Add(worstOver)
 		}
 		for _, af := range striking {
 			if af.Kind == faults.LinkFailure {

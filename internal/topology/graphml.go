@@ -78,11 +78,16 @@ func ParseGraphML(r io.Reader, defaultCapacity float64) (*Network, error) {
 			label = l
 		}
 		var lat, lon float64
+		var err error
 		if v, ok := attr(n.Data, "Latitude"); ok {
-			lat, _ = strconv.ParseFloat(v, 64)
+			if lat, err = strconv.ParseFloat(v, 64); err != nil {
+				return nil, fmt.Errorf("topology: GraphML node %q: bad Latitude %q: %w", n.ID, v, err)
+			}
 		}
 		if v, ok := attr(n.Data, "Longitude"); ok {
-			lon, _ = strconv.ParseFloat(v, 64)
+			if lon, err = strconv.ParseFloat(v, 64); err != nil {
+				return nil, fmt.Errorf("topology: GraphML node %q: bad Longitude %q: %w", n.ID, v, err)
+			}
 		}
 		if _, dup := ids[n.ID]; dup {
 			return nil, fmt.Errorf("topology: duplicate GraphML node id %q", n.ID)

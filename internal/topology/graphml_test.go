@@ -91,6 +91,36 @@ func TestParseGraphMLErrors(t *testing.T) {
 	}
 }
 
+func TestParseGraphMLMalformedCoordinates(t *testing.T) {
+	// A malformed Latitude/Longitude must fail loudly, naming the node —
+	// silently parsing it as 0,0 would corrupt geo-distance modeling.
+	const badLat = `<graphml>
+	  <key attr.name="Latitude" attr.type="double" for="node" id="k1"/>
+	  <graph id="g">
+	    <node id="n1"><data key="k1">40.7</data></node>
+	    <node id="n2"><data key="k1">forty-one</data></node>
+	    <edge source="n1" target="n2"/>
+	  </graph>
+	</graphml>`
+	_, err := ParseGraphML(strings.NewReader(badLat), 10)
+	if err == nil {
+		t.Fatal("malformed Latitude accepted")
+	}
+	if !strings.Contains(err.Error(), "n2") || !strings.Contains(err.Error(), "Latitude") {
+		t.Fatalf("error does not name the node and attribute: %v", err)
+	}
+
+	const badLon = `<graphml>
+	  <key attr.name="Longitude" attr.type="double" for="node" id="k2"/>
+	  <graph id="g">
+	    <node id="n1"><data key="k2">1e</data></node>
+	  </graph>
+	</graphml>`
+	if _, err := ParseGraphML(strings.NewReader(badLon), 10); err == nil || !strings.Contains(err.Error(), "Longitude") {
+		t.Fatalf("malformed Longitude: %v", err)
+	}
+}
+
 func TestParseGraphMLIntoFFCPipeline(t *testing.T) {
 	// A parsed real-world-style topology must flow through tunnel layout.
 	net, err := ParseGraphML(strings.NewReader(abileneGraphML), 10)
