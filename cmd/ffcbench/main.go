@@ -48,8 +48,9 @@ func main() {
 		seed       = flag.Int64("seed", 1, "random seed")
 		tunnels    = flag.Int("tunnels", 6, "tunnels per flow")
 		quick      = flag.Bool("quick", false, "shrink everything for a fast smoke run")
-		par        = flag.Int("parallel", 0, "worker count for parallel stages (<=0 = all cores, 1 = serial)")
+		par        = flag.Int("parallel", 0, "worker count for parallel stages, including LP constraint emission (<=0 = all cores, 1 = serial)")
 		warm       = flag.Bool("warm", false, "warm-start serial interval re-solves from the previous basis across the harness")
+		template   = flag.Bool("template", true, "reuse LP model templates across interval re-solves (rebind bounds/RHS instead of re-formulating); -template=false forces scratch builds")
 		compare    = flag.Bool("compare-serial", false, "after the run, repeat with -parallel 1 and print a wall-clock speedup table")
 		stats      = flag.Bool("stats", false, "enable instrumentation: print solver counters and a latency breakdown, run a verify/solve micro-benchmark, and write BENCH_<net>.json")
 		benchJSON  = flag.String("bench-json", "", "override the BENCH output path (default BENCH_<net>.json per environment; implies -stats semantics for the file)")
@@ -107,7 +108,8 @@ func main() {
 		}
 	}
 	if needEnv {
-		cfg := experiments.EnvConfig{Sites: *sites, Intervals: *intervals, Seed: *seed, TunnelsPerFlow: *tunnels, Parallelism: *par, WarmStart: *warm, SolverDeadline: *deadline, SolverFaults: injected}
+		cfg := experiments.EnvConfig{Sites: *sites, Intervals: *intervals, Seed: *seed, TunnelsPerFlow: *tunnels, Parallelism: *par, WarmStart: *warm, SolverDeadline: *deadline, SolverFaults: injected,
+			BuildWorkers: experiments.BuildWorkersFor(*par), NoTemplate: !*template}
 		if *netKind == "lnet" || *netKind == "both" {
 			fmt.Fprintf(os.Stderr, "building L-Net environment (%d sites, %d intervals)...\n", *sites, *intervals)
 			env, err := experiments.NewLNet(cfg)
@@ -176,12 +178,16 @@ func main() {
 	pass(os.Stdout, &parTimes, true)
 	fmt.Fprintf(os.Stderr, "all done in %v\n", time.Since(start).Round(time.Millisecond))
 
+	workers := parallel.Workers(*par)
 	var serTimes *metrics.Stopwatch
 	if *compare {
-		if parallel.Workers(*par) == 1 {
+		if workers == 1 {
 			// The main pass already ran serially; re-running it would time
-			// the identical configuration twice.
+			// the identical configuration twice. Reuse its timings as the
+			// serial numbers so downstream consumers (the -stats BENCH
+			// entries) still see a serial column without a duplicate run.
 			fmt.Println("# wall-clock: -compare-serial skipped — the run was already serial (-parallel=1), nothing to compare")
+			serTimes = &parTimes
 		} else {
 			fmt.Fprintln(os.Stderr, "re-running serially (-parallel 1) for the speedup table...")
 			for _, env := range envs {
@@ -209,7 +215,7 @@ func main() {
 					fmt.Fprintln(os.Stderr, "-bench-json ignored: multiple environments, writing per-env BENCH files")
 				}
 			}
-			bf, err := statsPass(env, &parTimes, serTimes)
+			bf, err := statsPass(env, &parTimes, serTimes, workers)
 			if err != nil {
 				fatalf("stats micro-benchmark (%s): %v", env.Name, err)
 			}
@@ -264,7 +270,9 @@ func numFaultCases(net *topology.Network, ke int) int64 {
 // BenchmarkVerifyDataPlaneSNet, with matching normalized names so the CI
 // gate compares them directly. Experiment wall-clock timings from the main
 // pass (and the -compare-serial speedups, when present) ride along.
-func statsPass(env *experiments.Env, parTimes, serTimes *metrics.Stopwatch) (*obs.BenchFile, error) {
+// workers is the effective -parallel value: at 1 the run is serial, so the
+// "parallel" verify leg would repeat the serial one and is skipped.
+func statsPass(env *experiments.Env, parTimes, serTimes *metrics.Stopwatch, workers int) (*obs.BenchFile, error) {
 	const ke = 2
 	tag := envTag(env)
 	fmt.Fprintf(os.Stderr, "stats micro-benchmark on %s (ke=%d)...\n", env.Name, ke)
@@ -371,22 +379,66 @@ func statsPass(env *experiments.Env, parTimes, serTimes *metrics.Stopwatch) (*ob
 		n, ke, coldNs.Round(time.Millisecond), coldIters, warmNs.Round(time.Millisecond), warmIters,
 		metrics.Speedup(coldNs, warmNs), float64(coldIters)/float64(max64(warmIters, 1)))
 
+	// Model-build cold vs warm on the same drift chain, timing formulation
+	// only: cold builds every interval's LP from scratch (NewTemplate is
+	// exactly a scratch formulate), warm freezes one ModelTemplate and
+	// re-instantiates it per interval by rewriting bounds/RHS/objective
+	// coefficients in place.
+	buildIn := func(i int) core.Input {
+		return core.Input{Demands: chain[i], Prot: core.Protection{Ke: ke}}
+	}
+	t0 = time.Now()
+	for i := 1; i < len(chain); i++ {
+		if _, err := resolveSolver.NewTemplate(buildIn(i)); err != nil {
+			return nil, err
+		}
+	}
+	buildCold := time.Since(t0)
+	tmpl, err := resolveSolver.NewTemplate(buildIn(0))
+	if err != nil {
+		return nil, err
+	}
+	t0 = time.Now()
+	for i := 1; i < len(chain); i++ {
+		if err := tmpl.Instantiate(buildIn(i)); err != nil {
+			return nil, err
+		}
+	}
+	buildWarm := time.Since(t0)
+	sizeCounters := map[string]int64{"lp_vars": int64(tmpl.Vars()), "lp_cons": int64(tmpl.Constraints())}
+	bf.Benchmarks = append(bf.Benchmarks,
+		obs.BenchEntry{Name: "ffcbench/" + bf.Label + "/modelbuild_cold", NsPerOp: float64(buildCold.Nanoseconds()) / float64(n), Ops: n,
+			Counters: sizeCounters},
+		obs.BenchEntry{Name: "ffcbench/" + bf.Label + "/modelbuild_warm", NsPerOp: float64(buildWarm.Nanoseconds()) / float64(n), Ops: n,
+			Counters: sizeCounters, Speedup: metrics.Speedup(buildCold, buildWarm)},
+	)
+	fmt.Fprintf(os.Stderr, "  modelbuild ×%d (ke=%d, %d vars, %d cons): cold %v  warm %v  (%.2fx)\n",
+		n, ke, tmpl.Vars(), tmpl.Constraints(), buildCold.Round(time.Millisecond), buildWarm.Round(time.Millisecond),
+		metrics.Speedup(buildCold, buildWarm))
+
 	// Data-plane verification, serial then parallel, on the plain state —
-	// the repo benchmark's workload (BenchmarkVerifyDataPlaneSNet).
+	// the repo benchmark's workload (BenchmarkVerifyDataPlaneSNet). With
+	// -parallel=1 the parallel leg would be the serial leg re-run under
+	// another name, so only the serial entry is emitted.
 	cases := numFaultCases(env.Net, ke)
 	t0 = time.Now()
 	core.VerifyDataPlaneN(env.Net, env.Tun, st, ke, 0, nil, 1)
 	serial := time.Since(t0)
-	t0 = time.Now()
-	core.VerifyDataPlaneN(env.Net, env.Tun, st, ke, 0, nil, 0)
-	par := time.Since(t0)
 	bf.Benchmarks = append(bf.Benchmarks,
-		obs.BenchEntry{Name: "VerifyDataPlane" + tag + "/serial", NsPerOp: float64(serial.Nanoseconds()), Ops: 1, Cases: cases},
-		obs.BenchEntry{Name: "VerifyDataPlane" + tag + "/parallel", NsPerOp: float64(par.Nanoseconds()), Ops: 1, Cases: cases,
-			Speedup: metrics.Speedup(serial, par)},
-	)
-	fmt.Fprintf(os.Stderr, "  verify(ke=%d, %d cases): serial %v  parallel %v  speedup %.2fx\n",
-		ke, cases, serial.Round(time.Millisecond), par.Round(time.Millisecond), metrics.Speedup(serial, par))
+		obs.BenchEntry{Name: "VerifyDataPlane" + tag + "/serial", NsPerOp: float64(serial.Nanoseconds()), Ops: 1, Cases: cases})
+	if workers == 1 {
+		fmt.Fprintf(os.Stderr, "  verify(ke=%d, %d cases): serial %v  (parallel leg skipped at -parallel=1)\n",
+			ke, cases, serial.Round(time.Millisecond))
+	} else {
+		t0 = time.Now()
+		core.VerifyDataPlaneN(env.Net, env.Tun, st, ke, 0, nil, workers)
+		par := time.Since(t0)
+		bf.Benchmarks = append(bf.Benchmarks,
+			obs.BenchEntry{Name: "VerifyDataPlane" + tag + "/parallel", NsPerOp: float64(par.Nanoseconds()), Ops: 1, Cases: cases,
+				Speedup: metrics.Speedup(serial, par)})
+		fmt.Fprintf(os.Stderr, "  verify(ke=%d, %d cases): serial %v  parallel %v  speedup %.2fx\n",
+			ke, cases, serial.Round(time.Millisecond), par.Round(time.Millisecond), metrics.Speedup(serial, par))
+	}
 
 	// Experiment wall-clock from the main pass, with serial/parallel
 	// speedups when -compare-serial ran.

@@ -147,6 +147,20 @@ type Options struct {
 	// iterations, and a pathological re-solve must not eat the control
 	// interval. Input.Budget.Deadline overrides per computation.
 	SolveBudget time.Duration
+	// BuildWorkers bounds the goroutines used to emit independent
+	// constraint blocks (per-link capacity rows, per-flow data-plane
+	// sortnet blocks, per-link control-plane blocks) during formulation:
+	// 0 (the default) builds serially, negative values use all cores,
+	// positive values use exactly that many. Blocks are staged into
+	// detached batches and spliced in a fixed order, so the built model —
+	// and therefore the solution — is byte-identical for every setting.
+	BuildWorkers int
+	// DisableTemplate turns off Session model-template reuse (see
+	// ModelTemplate): every Session solve then re-formulates from scratch,
+	// keeping only the warm-start basis carry. Exists for A/B comparison
+	// and as an escape hatch; the template path produces bit-identical
+	// models, so the default (enabled) is always safe.
+	DisableTemplate bool
 }
 
 // Uncertain describes a flow whose current configuration is unknown between
@@ -482,9 +496,11 @@ func (s *Solver) solve(in Input, se *Session) (st *State, stats *Stats, err erro
 	reused := false
 	if se != nil {
 		ws = se.warm
-		if se.canRebind(&in) {
-			b = se.rebind(in)
+		if !s.Opts.DisableTemplate && se.tmpl != nil && se.tmpl.Matches(&in) {
+			b = se.tmpl.instantiate(in)
 			reused = true
+			obsTemplateHits.Inc()
+			obsSessionRebinds.Inc()
 		}
 	}
 	if b == nil {
@@ -493,7 +509,13 @@ func (s *Solver) solve(in Input, se *Session) (st *State, stats *Stats, err erro
 			return nil, &Stats{Outcome: OutcomeSolverError}, err
 		}
 		if se != nil {
-			se.remember(b, in)
+			obsSessionBuilds.Inc()
+			if s.Opts.DisableTemplate {
+				se.tmpl = nil
+			} else {
+				se.tmpl = newTemplate(s, b, in)
+				obsTemplateMisses.Inc()
+			}
 		}
 	}
 	buildTime := time.Since(start)

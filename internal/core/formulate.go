@@ -6,6 +6,7 @@ import (
 	"sort"
 
 	"ffc/internal/lp"
+	"ffc/internal/parallel"
 	"ffc/internal/sortnet"
 	"ffc/internal/topology"
 	"ffc/internal/tunnel"
@@ -16,6 +17,9 @@ type builder struct {
 	s     *Solver
 	in    *Input
 	model *lp.Model
+	// workers is the effective constraint-emission parallelism (≥ 1),
+	// resolved from Options.BuildWorkers.
+	workers int
 
 	flows    []tunnel.Flow
 	bVar     map[tunnel.Flow]lp.Var
@@ -40,8 +44,15 @@ type builder struct {
 }
 
 func newBuilder(s *Solver, in *Input) *builder {
+	w := 1
+	switch {
+	case s.Opts.BuildWorkers < 0:
+		w = parallel.Workers(0)
+	case s.Opts.BuildWorkers > 0:
+		w = s.Opts.BuildWorkers
+	}
 	return &builder{
-		s: s, in: in, model: lp.NewModel(),
+		s: s, in: in, model: lp.NewModel(), workers: w,
 		bVar:     map[tunnel.Flow]lp.Var{},
 		aVar:     map[tunnel.Flow][]lp.Var{},
 		mice:     map[tunnel.Flow]bool{},
@@ -103,6 +114,28 @@ func (b *builder) formulate() error {
 	}
 	b.objective()
 	return nil
+}
+
+// emitBlocks stages n independent constraint blocks into detached
+// lp.Batches — fanned over the builder's worker count — and splices them
+// into the model in index order. A block may reference variables that
+// existed before the call plus the ones it creates itself, never another
+// block's. done(i, varBase, rowBase) runs in index order after block i's
+// rows land, for translating batch-local row/variable indices to model
+// indices. Splicing preserves each batch's staging order, so the final
+// model is byte-identical for every worker count, including 1.
+func (b *builder) emitBlocks(n int, emit func(i int, em lp.Emitter), done func(i, varBase, rowBase int)) {
+	batches := make([]*lp.Batch, n)
+	parallel.ForEach(n, b.workers, func(i int) {
+		batches[i] = lp.NewBatch()
+		emit(i, batches[i])
+	})
+	for i, bt := range batches {
+		vb, rb := b.model.Splice(bt)
+		if done != nil {
+			done(i, vb, rb)
+		}
+	}
 }
 
 // selectFlows picks flows with positive demand and at least one tunnel, in
@@ -276,30 +309,47 @@ func (b *builder) coverageConstraints() {
 }
 
 // capacityConstraints emits Eqn 2 (or the MLU coupling for MinMLU, or the
-// expandable-capacity form for PlanCapacity).
+// expandable-capacity form for PlanCapacity) as one block per link.
 func (b *builder) capacityConstraints() {
 	if b.s.Opts.Objective == MinMLU {
 		b.mluVar = b.model.NewVar("MLU", 0, lp.Inf)
 	}
-	for _, l := range b.s.Net.Links {
+	links := b.s.Net.Links
+	type capOut struct {
+		row int    // batch-local capacity row (MaxThroughput), or -1
+		v   lp.Var // batch-local expansion variable (PlanCapacity), or -1
+	}
+	outs := make([]capOut, len(links))
+	b.emitBlocks(len(links), func(i int, em lp.Emitter) {
+		outs[i] = capOut{row: -1, v: -1}
+		l := links[i]
 		use := b.usageExpr(l.ID)
 		if len(use.Terms) == 0 {
-			continue
+			return
 		}
 		c := b.s.capacity(b.in, l.ID)
 		switch b.s.Opts.Objective {
 		case MinMLU:
 			// u ≥ usage/ce  ⟺  usage − ce·u ≤ 0
 			use.Add(-c, b.mluVar)
-			b.model.AddNamed(fmt.Sprintf("mlu[e%d]", l.ID), use, lp.LE, 0)
+			em.AddNamed(fmt.Sprintf("mlu[e%d]", l.ID), use, lp.LE, 0)
 		case PlanCapacity:
 			// usage − x_e ≤ ce with x_e ≥ 0 the expansion bought.
-			use.Add(-1, b.expandVar(l.ID))
-			b.model.AddNamed(fmt.Sprintf("cap[e%d]", l.ID), use, lp.LE, c)
+			v := em.NewVar(fmt.Sprintf("x[e%d]", l.ID), 0, lp.Inf)
+			outs[i].v = v
+			use.Add(-1, v)
+			em.AddNamed(fmt.Sprintf("cap[e%d]", l.ID), use, lp.LE, c)
 		default:
-			b.capRow[l.ID] = b.model.AddNamed(fmt.Sprintf("cap[e%d]", l.ID), use, lp.LE, c)
+			outs[i].row = em.AddNamed(fmt.Sprintf("cap[e%d]", l.ID), use, lp.LE, c)
 		}
-	}
+	}, func(i, varBase, rowBase int) {
+		if outs[i].row >= 0 {
+			b.capRow[links[i].ID] = rowBase + outs[i].row
+		}
+		if outs[i].v >= 0 {
+			b.capVar[links[i].ID] = lp.SpliceVar(outs[i].v, varBase)
+		}
+	})
 }
 
 // expandVar lazily creates the PlanCapacity expansion variable for a link.
@@ -312,15 +362,19 @@ func (b *builder) expandVar(l topology.LinkID) lp.Var {
 	return v
 }
 
-// dataPlane emits Eqn 15 (or the naive Eqn 9 enumeration).
+// dataPlane emits Eqn 15 (or the naive Eqn 9 enumeration) as one block per
+// flow — the sortnet-heaviest phase, so the biggest parallel-emission win.
 func (b *builder) dataPlane() error {
 	prot := b.in.Prot
 	if prot.Ke == 0 && prot.Kv == 0 {
 		return nil
 	}
-	for _, f := range b.flows {
+	type dpOut struct{ vars, cons int }
+	outs := make([]dpOut, len(b.flows))
+	b.emitBlocks(len(b.flows), func(fi int, em lp.Emitter) {
+		f := b.flows[fi]
 		if b.mice[f] {
-			continue // uniform split satisfies Eqn 15 by construction
+			return // uniform split satisfies Eqn 15 by construction
 		}
 		var aliveTs []*tunnel.Tunnel
 		for _, t := range b.s.Tun.Tunnels(f) {
@@ -330,14 +384,14 @@ func (b *builder) dataPlane() error {
 		}
 		tau := b.aliveTau[f]
 		if tau <= 0 {
-			continue // bf already fixed to 0
+			return // bf already fixed to 0
 		}
 		if tau >= len(aliveTs) {
-			continue // no tunnel can be lost at this protection level
+			return // no tunnel can be lost at this protection level
 		}
 		if b.s.Opts.Encoding == Naive {
-			b.dataPlaneNaive(f, aliveTs, prot)
-			continue
+			outs[fi].cons = b.dataPlaneNaive(em, f, aliveTs, prot)
+			return
 		}
 		exprs := make([]*lp.Expr, len(aliveTs))
 		for i, t := range aliveTs {
@@ -350,35 +404,37 @@ func (b *builder) dataPlane() error {
 		if tau <= drop {
 			// Encode the smallest τ directly: Σ smallest-τ a ≥ bf.
 			if b.s.Opts.Encoding == Compact {
-				res = sortnet.BottomKCompact(b.model, exprs, tau, name)
+				res = sortnet.BottomKCompact(em, exprs, tau, name)
 			} else {
-				res = sortnet.SmallestSum(b.model, exprs, tau, name)
+				res = sortnet.SmallestSum(em, exprs, tau, name)
 			}
-			b.model.AddNamed(name, lp.NewExpr().AddExpr(1, res.Sum).AddExpr(-1, rhs), lp.GE, 0)
+			em.AddNamed(name, lp.NewExpr().AddExpr(1, res.Sum).AddExpr(-1, rhs), lp.GE, 0)
 		} else {
 			// Cheaper dual form: Σ all − Σ largest-(|T|−τ) ≥ bf.
 			if b.s.Opts.Encoding == Compact {
-				res = sortnet.TopKCompact(b.model, exprs, drop, name)
+				res = sortnet.TopKCompact(em, exprs, drop, name)
 			} else {
-				res = sortnet.LargestSum(b.model, exprs, drop, name)
+				res = sortnet.LargestSum(em, exprs, drop, name)
 			}
 			total := lp.NewExpr()
 			for _, t := range aliveTs {
 				total.Add(1, b.aVar[f][t.Index])
 			}
 			total.AddExpr(-1, res.Sum).AddExpr(-1, rhs)
-			b.model.AddNamed(name, total, lp.GE, 0)
+			em.AddNamed(name, total, lp.GE, 0)
 		}
-		b.encVars += res.Vars
-		b.encCons += res.Constraints + 1
-	}
+		outs[fi] = dpOut{res.Vars, res.Constraints + 1}
+	}, func(fi, _, _ int) {
+		b.encVars += outs[fi].vars
+		b.encCons += outs[fi].cons
+	})
 	return nil
 }
 
 // dataPlaneNaive enumerates Eqn 9's fault cases for one flow: every
 // combination of Ke physical links and Kv switches drawn from the elements
-// the flow's tunnels actually traverse.
-func (b *builder) dataPlaneNaive(f tunnel.Flow, ts []*tunnel.Tunnel, prot Protection) {
+// the flow's tunnels actually traverse. Returns the constraint count.
+func (b *builder) dataPlaneNaive(em lp.Emitter, f tunnel.Flow, ts []*tunnel.Tunnel, prot Protection) int {
 	// Collect candidate physical links and intermediate switches.
 	linkSet := map[topology.LinkID]bool{}
 	swSet := map[topology.SwitchID]bool{}
@@ -403,6 +459,7 @@ func (b *builder) dataPlaneNaive(f tunnel.Flow, ts []*tunnel.Tunnel, prot Protec
 	}
 	// Maximal fault sets dominate smaller ones (residual sets shrink
 	// monotonically), so only size-ke × size-kv combinations are emitted.
+	cons := 0
 	forEachCombo(len(links), ke, func(li []int) {
 		down := map[topology.LinkID]bool{}
 		for _, i := range li {
@@ -423,10 +480,11 @@ func (b *builder) dataPlaneNaive(f tunnel.Flow, ts []*tunnel.Tunnel, prot Protec
 				}
 			}
 			e.Add(-1, b.bVar[f])
-			b.model.AddNamed(fmt.Sprintf("dp9[%v]", f), e, lp.GE, 0)
-			b.encCons++
+			em.AddNamed(fmt.Sprintf("dp9[%v]", f), e, lp.GE, 0)
+			cons++
 		})
 	})
+	return cons
 }
 
 // betaExpr returns (β_{f,t} − a_{f,t}) as an expression for the configured
@@ -545,10 +603,22 @@ func idx(s []float64, i int) float64 {
 	return 0
 }
 
-// controlPlane emits Eqn 14 per link (or the naive Eqn 5 enumeration).
+// controlPlane emits Eqn 14 per link (or the naive Eqn 5 enumeration) in
+// two phases. Phase A runs serially in link order: β variables and their
+// defining rows are shared across every link a tunnel crosses, so they are
+// created up front along with each link's sorted (β−a) source grouping.
+// Phase B then emits the per-link sortnet blocks and safety rows — fully
+// independent — through emitBlocks.
 func (b *builder) controlPlane() error {
 	prev := b.in.Prev
 	prevLoads := prev.ActualLinkLoads(b.s.Tun)
+	type cpBlock struct {
+		l     topology.LinkID
+		c     float64
+		exprs []*lp.Expr
+		kc    int
+	}
+	var blocks []cpBlock
 	for _, l := range b.s.Net.Links {
 		inc := b.s.incidence[l.ID]
 		if len(inc) == 0 {
@@ -605,39 +675,63 @@ func (b *builder) controlPlane() error {
 		if kc > len(exprs) {
 			kc = len(exprs)
 		}
-		use := b.usageExpr(l.ID)
-		name := fmt.Sprintf("cp[e%d]", l.ID)
+		blocks = append(blocks, cpBlock{l: l.ID, c: c, exprs: exprs, kc: kc})
+	}
+	if len(blocks) == 0 {
+		return nil
+	}
+	// Variables shared across blocks must exist before phase B so the
+	// parallel blocks only read them.
+	if b.s.Opts.Objective == MinMLU && !b.haveMLUFault {
+		b.mluFaultVar = b.model.NewVar("MLUfault", 0, lp.Inf)
+		b.haveMLUFault = true
+	}
+	if b.s.Opts.Objective == PlanCapacity {
+		for _, blk := range blocks {
+			b.expandVar(blk.l)
+		}
+	}
+	type cpOut struct{ vars, cons int }
+	outs := make([]cpOut, len(blocks))
+	b.emitBlocks(len(blocks), func(i int, em lp.Emitter) {
+		blk := blocks[i]
+		use := b.usageExpr(blk.l)
+		name := fmt.Sprintf("cp[e%d]", blk.l)
 		switch b.s.Opts.Encoding {
 		case Naive:
 			// Eqn 5/13 directly: every ≤kc subset. d ≥ 0, so only
 			// maximal subsets are needed.
-			forEachCombo(len(exprs), kc, func(sel []int) {
+			forEachCombo(len(blk.exprs), blk.kc, func(sel []int) {
 				e := use.Clone()
-				for _, i := range sel {
-					e.AddExpr(1, exprs[i])
+				for _, j := range sel {
+					e.AddExpr(1, blk.exprs[j])
 				}
-				b.addCPConstraint(name, l.ID, e, c)
-				b.encCons++
+				b.addCPConstraint(em, name, blk.l, e, blk.c)
+				outs[i].cons++
 			})
 		case Compact:
-			res := sortnet.TopKCompact(b.model, exprs, kc, name)
-			b.encVars += res.Vars
-			b.encCons += res.Constraints + 1
-			b.addCPConstraint(name, l.ID, use.Clone().AddExpr(1, res.Sum), c)
+			res := sortnet.TopKCompact(em, blk.exprs, blk.kc, name)
+			outs[i] = cpOut{res.Vars, res.Constraints + 1}
+			b.addCPConstraint(em, name, blk.l, use.Clone().AddExpr(1, res.Sum), blk.c)
 		default:
-			res := sortnet.LargestSum(b.model, exprs, kc, name)
-			b.encVars += res.Vars
-			b.encCons += res.Constraints + 1
-			b.addCPConstraint(name, l.ID, use.Clone().AddExpr(1, res.Sum), c)
+			res := sortnet.LargestSum(em, blk.exprs, blk.kc, name)
+			outs[i] = cpOut{res.Vars, res.Constraints + 1}
+			b.addCPConstraint(em, name, blk.l, use.Clone().AddExpr(1, res.Sum), blk.c)
 		}
-	}
+	}, func(i, _, _ int) {
+		b.encVars += outs[i].vars
+		b.encCons += outs[i].cons
+	})
 	return nil
 }
 
 // addCPConstraint installs a control-plane safety bound for link l: a hard
 // capacity constraint for MaxThroughput, the fault-MLU coupling for MinMLU
-// (§5.4), or the expandable form for PlanCapacity.
-func (b *builder) addCPConstraint(name string, l topology.LinkID, load *lp.Expr, c float64) {
+// (§5.4), or the expandable form for PlanCapacity. When em is a detached
+// batch the shared MLUfault/expansion variables must already exist (see
+// controlPlane's phase split); the lazy creation below only fires on serial
+// emitters (demandFFC).
+func (b *builder) addCPConstraint(em lp.Emitter, name string, l topology.LinkID, load *lp.Expr, c float64) {
 	switch b.s.Opts.Objective {
 	case MinMLU:
 		if !b.haveMLUFault {
@@ -645,12 +739,12 @@ func (b *builder) addCPConstraint(name string, l topology.LinkID, load *lp.Expr,
 			b.haveMLUFault = true
 		}
 		load.Add(-c, b.mluFaultVar)
-		b.model.AddNamed(name, load, lp.LE, 0)
+		em.AddNamed(name, load, lp.LE, 0)
 	case PlanCapacity:
 		load.Add(-1, b.expandVar(l))
-		b.model.AddNamed(name, load, lp.LE, c)
+		em.AddNamed(name, load, lp.LE, c)
 	default:
-		b.model.AddNamed(name, load, lp.LE, c)
+		em.AddNamed(name, load, lp.LE, c)
 	}
 }
 

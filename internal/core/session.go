@@ -3,8 +3,6 @@ package core
 import (
 	"ffc/internal/lp"
 	"ffc/internal/obs"
-	"ffc/internal/topology"
-	"ffc/internal/tunnel"
 )
 
 // Session solves a sequence of closely-related TE inputs — the per-interval
@@ -13,26 +11,19 @@ import (
 //   - the simplex basis of the previous solve warm-starts the next one
 //     (lp.WarmStart), typically eliminating Phase 1 and most iterations;
 //   - when the input differs from the cached one only in *values* (demands,
-//     capacities, rate caps/floors/fixings) and not in structure (same flow
-//     set, same down elements, same protection, no control-plane FFC), the
-//     built LP model is rebound in place via SetBounds/SetRHS instead of
-//     being re-formulated, which also lets the lp layer reuse its presolve
-//     mapping.
+//     capacities, rate caps/floors/fixings) and not in structure, the built
+//     LP model is re-instantiated from the cached ModelTemplate via
+//     SetBounds/SetRHS/SetObjCoef instead of being re-formulated, which
+//     also lets the lp layer reuse its presolve mapping.
 //
-// A Session is NOT safe for concurrent use; create one per serial solve
-// loop. Results are identical to Solver.Solve up to the simplex's choice
-// among alternate optima.
+// Options.DisableTemplate turns the second reuse off (every solve then
+// re-formulates; the basis carry remains). A Session is NOT safe for
+// concurrent use; create one per serial solve loop. Results are identical
+// to Solver.Solve up to the simplex's choice among alternate optima.
 type Session struct {
 	s    *Solver
 	warm *lp.WarmStart
-
-	// Cached formulation and the fingerprint it was built for.
-	b          *builder
-	in         Input // deep-referenced by b.in; overwritten on reuse
-	rebindable bool
-	flows      []tunnel.Flow
-	downLinks  map[topology.LinkID]bool
-	downSw     map[topology.SwitchID]bool
+	tmpl *ModelTemplate
 }
 
 var (
@@ -48,111 +39,11 @@ func (se *Session) Solve(in Input) (*State, *Stats, error) {
 	return se.s.solve(in, se)
 }
 
-// Reset drops the cached model and basis; the next Solve starts cold.
+// Template exposes the session's cached model template (nil until the
+// first successful build, or always nil with Options.DisableTemplate).
+func (se *Session) Template() *ModelTemplate { return se.tmpl }
+
+// Reset drops the cached template and basis; the next Solve starts cold.
 func (se *Session) Reset() {
-	se.warm, se.b, se.flows, se.downLinks, se.downSw = nil, nil, nil, nil, nil
-	se.rebindable = false
-}
-
-// remember caches a freshly formulated builder and the structural
-// fingerprint under which it may be rebound later. Only the plain
-// max-throughput shape qualifies: MinMLU/PlanCapacity embed capacities as
-// coefficients, control-plane FFC (Kc > 0) embeds the previous state's
-// weights, mice selection depends on demand values, and demand-uncertainty
-// FFC embeds per-flow loads — all structure, not bounds/RHS.
-func (se *Session) remember(b *builder, in Input) {
-	obsSessionBuilds.Inc()
-	se.b = b
-	se.in = in
-	b.in = &se.in
-	se.flows = b.flows
-	se.downLinks = in.DownLinks
-	se.downSw = in.DownSwitches
-	se.rebindable = se.s.Opts.Objective == MaxThroughput &&
-		se.s.Opts.MiceFraction <= 0 &&
-		in.Prot.Kc == 0 &&
-		(in.Demand.Count <= 0 || in.Demand.Factor <= 1)
-}
-
-// canRebind reports whether in matches the cached model's structure: same
-// protection, same candidate flow list, same down sets, and a shape whose
-// input values appear only in bounds and right-hand sides.
-func (se *Session) canRebind(in *Input) bool {
-	if se.b == nil || !se.rebindable {
-		return false
-	}
-	if in.Prot != se.in.Prot {
-		return false
-	}
-	if in.Demand.Count > 0 && in.Demand.Factor > 1 {
-		return false
-	}
-	if !sameLinkSet(in.DownLinks, se.downLinks) || !sameSwitchSet(in.DownSwitches, se.downSw) {
-		return false
-	}
-	// The candidate flow list (positive demand, has tunnels) must be
-	// identical — it determines every variable and constraint.
-	i := 0
-	for _, f := range in.Demands.Flows() {
-		if in.Demands[f] <= 0 || len(se.s.Tun.Tunnels(f)) == 0 {
-			continue
-		}
-		if i >= len(se.flows) || se.flows[i] != f {
-			return false
-		}
-		i++
-	}
-	return i == len(se.flows)
-}
-
-// rebind re-derives every input-dependent bound and right-hand side of the
-// cached model from in, leaving the sparsity pattern untouched.
-func (se *Session) rebind(in Input) *builder {
-	obsSessionRebinds.Inc()
-	b := se.b
-	se.in = in
-	b.in = &se.in
-	for _, f := range b.flows {
-		lo, hi := b.rateBounds(f)
-		b.model.SetBounds(b.bVar[f], lo, hi)
-		if b.mice[f] {
-			continue
-		}
-		for i, v := range b.aVar[f] {
-			alo, ahi := b.allocBounds(f, i)
-			b.model.SetBounds(v, alo, ahi)
-		}
-	}
-	for l, row := range b.capRow {
-		b.model.SetRHS(row, se.s.capacity(&se.in, l))
-	}
-	return b
-}
-
-func sameLinkSet(a, b map[topology.LinkID]bool) bool {
-	for l, v := range a {
-		if v && !b[l] {
-			return false
-		}
-	}
-	for l, v := range b {
-		if v && !a[l] {
-			return false
-		}
-	}
-	return true
-}
-
-func sameSwitchSet(a, b map[topology.SwitchID]bool) bool {
-	for s, v := range a {
-		if v && !b[s] {
-			return false
-		}
-	}
-	for s, v := range b {
-		if v && !a[s] {
-			return false
-		}
-	}
-	return true
+	se.warm, se.tmpl = nil, nil
 }

@@ -1,0 +1,291 @@
+package core
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"ffc/internal/demand"
+	"ffc/internal/lp"
+	"ffc/internal/sortnet"
+	"ffc/internal/topology"
+	"ffc/internal/tunnel"
+)
+
+// buildFixture lays out tunnels for every site-pair flow of net and returns
+// a drifting demand series over them — the template's target regime:
+// structure frozen, values moving.
+func buildFixture(tb testing.TB, net *topology.Network, intervals int, seed int64) (*tunnel.Set, demand.Series) {
+	tb.Helper()
+	series := demand.Generate(net, demand.Config{Intervals: intervals, NoiseSigma: 0.1},
+		rand.New(rand.NewSource(seed)))
+	set := tunnel.Layout(net, series[0].Flows(), tunnel.LayoutConfig{TunnelsPerFlow: 4, P: 1, Q: 3})
+	return set, series
+}
+
+// modelBytes serializes a built LP; byte equality of two serializations is
+// the strongest equivalence the suite asserts — identical variables, order,
+// coefficients, bounds, and RHS, bit for bit.
+func modelBytes(tb testing.TB, m *lp.Model) []byte {
+	tb.Helper()
+	var buf bytes.Buffer
+	if err := m.WriteLP(&buf); err != nil {
+		tb.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// scratchBuilder formulates in from scratch on s, failing the test on error.
+func scratchBuilder(tb testing.TB, s *Solver, in Input) *builder {
+	tb.Helper()
+	b := newBuilder(s, &in)
+	if err := b.formulate(); err != nil {
+		tb.Fatal(err)
+	}
+	return b
+}
+
+// TestTemplateInstantiateBitIdentical freezes a ModelTemplate on interval 0
+// and re-instantiates it for later intervals, checking the rebound model is
+// byte-identical to a scratch formulation of the same input — on the
+// paper's S-Net WAN and on a fat-tree DCN. For the first re-instantiated
+// interval both models are also solved cold and must agree on the exact
+// solution vector (same model bytes + same deterministic simplex ⇒ same
+// bits).
+func TestTemplateInstantiateBitIdentical(t *testing.T) {
+	nets := []struct {
+		name string
+		net  *topology.Network
+		ke   int
+	}{
+		{"snet", topology.SNet(), 2},
+		{"fattree", topology.FatTree(4, 10), 1},
+	}
+	for _, tc := range nets {
+		t.Run(tc.name, func(t *testing.T) {
+			set, series := buildFixture(t, tc.net, 3, 7)
+			s := NewSolver(tc.net, set, Options{BuildWorkers: 1})
+			mkIn := func(i int) Input {
+				return Input{Demands: series[i], Prot: Protection{Ke: tc.ke}}
+			}
+			tmpl, err := s.NewTemplate(mkIn(0))
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := 1; i < len(series); i++ {
+				if err := tmpl.Instantiate(mkIn(i)); err != nil {
+					t.Fatalf("interval %d: %v", i, err)
+				}
+				scratch := scratchBuilder(t, s, mkIn(i))
+				got, want := modelBytes(t, tmpl.b.model), modelBytes(t, scratch.model)
+				if !bytes.Equal(got, want) {
+					t.Fatalf("interval %d: instantiated model differs from scratch formulation (%d vs %d bytes)",
+						i, len(got), len(want))
+				}
+				if i != 1 {
+					continue
+				}
+				solT, err := tmpl.b.model.Solve()
+				if err != nil {
+					t.Fatal(err)
+				}
+				solS, err := scratch.model.Solve()
+				if err != nil {
+					t.Fatal(err)
+				}
+				if solT.Objective != solS.Objective {
+					t.Fatalf("objectives differ: template %v, scratch %v", solT.Objective, solS.Objective)
+				}
+				if len(solT.X) != len(solS.X) {
+					t.Fatalf("solution lengths differ: %d vs %d", len(solT.X), len(solS.X))
+				}
+				for j := range solT.X {
+					if solT.X[j] != solS.X[j] {
+						t.Fatalf("x[%d] differs: template %v, scratch %v", j, solT.X[j], solS.X[j])
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestBuildWorkersByteIdentical checks the parallel-emission guarantee from
+// Options.BuildWorkers: the formulated model is byte-identical for every
+// worker setting, across every encoding and the objectives/features that
+// emit constraint blocks in parallel (capacity rows, data-plane sortnet
+// blocks, control-plane blocks, capacity-expansion variables).
+func TestBuildWorkersByteIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	net, set, flows := randomNetwork(rng, 8, 6)
+	demands := demand.Matrix{}
+	for i, f := range flows {
+		demands[f] = 2 + float64(i)
+	}
+	plain := NewSolver(net, set, Options{})
+	prev, _, err := plain.Solve(Input{Demands: demands})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cases := []struct {
+		name string
+		opts Options
+		in   Input
+	}{
+		{"sortnet_ke_kv", Options{}, Input{Demands: demands, Prot: Protection{Ke: 1, Kv: 1}}},
+		{"compact_ke", Options{Encoding: Compact}, Input{Demands: demands, Prot: Protection{Ke: 1}}},
+		{"naive_ke", Options{Encoding: Naive}, Input{Demands: demands, Prot: Protection{Ke: 1}}},
+		{"sortnet_kc", Options{}, Input{Demands: demands, Prot: Protection{Kc: 2}, Prev: prev}},
+		{"compact_kc", Options{Encoding: Compact}, Input{Demands: demands, Prot: Protection{Kc: 1}, Prev: prev}},
+		{"naive_kc", Options{Encoding: Naive}, Input{Demands: demands, Prot: Protection{Kc: 1}, Prev: prev}},
+		{"minmlu_kc", Options{Objective: MinMLU}, Input{Demands: demands, Prot: Protection{Kc: 1}, Prev: prev}},
+		{"plancap_ke", Options{Objective: PlanCapacity}, Input{Demands: demands, Prot: Protection{Ke: 1}}},
+		{"mice_oldload", Options{MiceFraction: 0.2, OldLoadSkip: 1e-4, WeightSkip: 1e-3},
+			Input{Demands: demands, Prot: Protection{Kc: 1, Ke: 1}, Prev: prev}},
+	}
+	workerSettings := []int{0, 1, -1, 4}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var ref []byte
+			for _, w := range workerSettings {
+				opts := tc.opts
+				opts.BuildWorkers = w
+				s := NewSolver(net, set, opts)
+				got := modelBytes(t, scratchBuilder(t, s, tc.in).model)
+				if ref == nil {
+					ref = got
+					continue
+				}
+				if !bytes.Equal(got, ref) {
+					t.Fatalf("BuildWorkers=%d model differs from BuildWorkers=%d (%d vs %d bytes)",
+						w, workerSettings[0], len(got), len(ref))
+				}
+			}
+		})
+	}
+}
+
+// TestSortnetCacheByteIdentical formulates the same inputs with the sortnet
+// comparator-network cache enabled and disabled: the stamped-out encodings
+// must be byte-identical to freshly derived ones, and the enabled pass must
+// actually hit the cache.
+func TestSortnetCacheByteIdentical(t *testing.T) {
+	net := topology.SNet()
+	set, series := buildFixture(t, net, 1, 9)
+	s := NewSolver(net, set, Options{})
+	in := Input{Demands: series[0], Prot: Protection{Ke: 2, Kv: 1}}
+
+	sortnet.SetCache(false)
+	cold := modelBytes(t, scratchBuilder(t, s, in).model)
+	sortnet.SetCache(true)
+	defer sortnet.SetCache(true) // leave the process-wide default in place
+	warm := modelBytes(t, scratchBuilder(t, s, in).model)
+	if !bytes.Equal(cold, warm) {
+		t.Fatalf("cache-off and cache-on formulations differ (%d vs %d bytes)", len(cold), len(warm))
+	}
+	if sortnet.CacheLen() == 0 {
+		t.Fatal("cache-on formulation left the sortnet cache empty")
+	}
+	// A second build of the same input must stamp from the cache alone.
+	h0, _ := sortnet.CacheCounters()
+	_ = modelBytes(t, scratchBuilder(t, s, in).model)
+	if h1, _ := sortnet.CacheCounters(); h1 <= h0 {
+		t.Fatalf("repeat formulation recorded no cache hits (%d → %d)", h0, h1)
+	}
+}
+
+// TestTemplateMismatchRejected exercises the invalidation rules: structural
+// changes must be refused by Instantiate, not silently rebound.
+func TestTemplateMismatchRejected(t *testing.T) {
+	net := topology.SNet()
+	set, series := buildFixture(t, net, 2, 11)
+	s := NewSolver(net, set, Options{})
+	base := Input{Demands: series[0], Prot: Protection{Ke: 1}}
+	tmpl, err := s.NewTemplate(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tmpl.Instantiate(Input{Demands: series[1], Prot: Protection{Ke: 1}}); err != nil {
+		t.Fatalf("value-only change rejected: %v", err)
+	}
+
+	protChange := base
+	protChange.Prot = Protection{Ke: 2}
+	if err := tmpl.Instantiate(protChange); err != ErrTemplateMismatch {
+		t.Fatalf("protection change: got %v, want ErrTemplateMismatch", err)
+	}
+
+	flowChange := Input{Demands: series[0].Clone(), Prot: Protection{Ke: 1}}
+	flowChange.Demands[series[0].Flows()[0]] = 0 // drops the flow's variables
+	if err := tmpl.Instantiate(flowChange); err != ErrTemplateMismatch {
+		t.Fatalf("flow-list change: got %v, want ErrTemplateMismatch", err)
+	}
+
+	faultChange := base
+	faultChange.DownLinks = map[topology.LinkID]bool{net.Links[0].ID: true}
+	if err := tmpl.Instantiate(faultChange); err != ErrTemplateMismatch {
+		t.Fatalf("fault-state change: got %v, want ErrTemplateMismatch", err)
+	}
+
+	// Control-plane FFC embeds the previous state as coefficients: never
+	// rebindable, even against an identical input.
+	st, _, err := s.Solve(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kcIn := Input{Demands: series[0], Prot: Protection{Kc: 1}, Prev: st}
+	kcTmpl, err := s.NewTemplate(kcIn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := kcTmpl.Instantiate(kcIn); err != ErrTemplateMismatch {
+		t.Fatalf("kc > 0 template: got %v, want ErrTemplateMismatch", err)
+	}
+}
+
+// TestSessionTemplateMatchesScratchSolve runs a warm-started Session chain
+// with the template enabled and disabled: since the instantiated model is
+// byte-identical to the scratch one and the carried basis evolves
+// identically, every interval's state must match exactly.
+func TestSessionTemplateMatchesScratchSolve(t *testing.T) {
+	net := topology.FatTree(4, 10)
+	set, series := buildFixture(t, net, 4, 13)
+	run := func(disable bool) []*State {
+		opts := Options{DisableTemplate: disable}
+		se := NewSolver(net, set, opts).NewSession()
+		var out []*State
+		for i, dem := range series {
+			st, stats, err := se.Solve(Input{Demands: dem, Prot: Protection{Ke: 1}})
+			if err != nil {
+				t.Fatalf("disable=%v interval %d: %v", disable, i, err)
+			}
+			if wantReuse := !disable && i > 0; stats.ModelReused != wantReuse {
+				t.Fatalf("disable=%v interval %d: ModelReused=%v, want %v",
+					disable, i, stats.ModelReused, wantReuse)
+			}
+			out = append(out, st)
+		}
+		return out
+	}
+	withTmpl, scratch := run(false), run(true)
+	for i := range withTmpl {
+		for f, r := range scratch[i].Rate {
+			if withTmpl[i].Rate[f] != r {
+				t.Fatalf("interval %d flow %v: rate %v (template) != %v (scratch)",
+					i, f, withTmpl[i].Rate[f], r)
+			}
+		}
+		for f, alloc := range scratch[i].Alloc {
+			got := withTmpl[i].Alloc[f]
+			if len(got) != len(alloc) {
+				t.Fatalf("interval %d flow %v: alloc lengths differ", i, f)
+			}
+			for j := range alloc {
+				if got[j] != alloc[j] {
+					t.Fatalf("interval %d flow %v tunnel %d: alloc %v (template) != %v (scratch)",
+						i, f, j, got[j], alloc[j])
+				}
+			}
+		}
+	}
+}

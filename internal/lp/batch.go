@@ -1,0 +1,138 @@
+package lp
+
+import "fmt"
+
+// Emitter is the constraint-emission surface shared by *Model and *Batch.
+// Code that builds a block of variables and constraints against an Emitter
+// can run either directly on a model or into a detached Batch that is
+// spliced in later — the resulting model is identical either way.
+type Emitter interface {
+	NewVar(name string, lo, hi float64) Var
+	AddConstraint(expr *Expr, sense Sense, rhs float64) int
+	AddNamed(name string, expr *Expr, sense Sense, rhs float64) int
+	AddLE(expr *Expr, rhs float64) int
+	AddGE(expr *Expr, rhs float64) int
+	AddEQ(expr *Expr, rhs float64) int
+}
+
+var (
+	_ Emitter = (*Model)(nil)
+	_ Emitter = (*Batch)(nil)
+)
+
+// batchVarBase is the Var offset for variables created inside a Batch. A
+// batch-local variable k is addressed as batchVarBase+k until Splice maps it
+// onto the model; real models never approach 2^30 columns, so the ranges
+// cannot collide.
+const batchVarBase Var = 1 << 30
+
+// IsBatchVar reports whether v is a batch-local variable that has not been
+// spliced into a model yet.
+func IsBatchVar(v Var) bool { return v >= batchVarBase }
+
+type batchCol struct {
+	name   string
+	lo, hi float64
+}
+
+type batchRow struct {
+	name  string
+	sense Sense
+	rhs   float64 // already net of the expression constant
+	idx   []int32 // compacted; batch-local vars appear as batchVarBase+k
+	coef  []float64
+}
+
+// Batch is a staging area for one independent block of variables and
+// constraints. Multiple goroutines may each fill their own Batch
+// concurrently; Model.Splice then appends the batches in a deterministic
+// order. A Batch only ever references variables that already exist on the
+// destination model plus its own local variables — never another batch's.
+type Batch struct {
+	cols []batchCol
+	rows []batchRow
+}
+
+// NewBatch returns an empty batch.
+func NewBatch() *Batch { return &Batch{} }
+
+// NumVars returns the number of batch-local variables created so far.
+func (b *Batch) NumVars() int { return len(b.cols) }
+
+// NumRows returns the number of constraints staged so far.
+func (b *Batch) NumRows() int { return len(b.rows) }
+
+// NewVar stages a variable and returns its batch-local handle
+// (batchVarBase+k). After Splice the k-th staged variable becomes model
+// variable varBase+k.
+func (b *Batch) NewVar(name string, lo, hi float64) Var {
+	if lo > hi {
+		panic(fmt.Sprintf("lp: variable %q has lo %g > hi %g", name, lo, hi))
+	}
+	b.cols = append(b.cols, batchCol{name: name, lo: lo, hi: hi})
+	return batchVarBase + Var(len(b.cols)-1)
+}
+
+// AddConstraint stages expr (sense) rhs and returns the batch-local row
+// index; after Splice the k-th staged row becomes model row rowBase+k.
+func (b *Batch) AddConstraint(expr *Expr, sense Sense, rhs float64) int {
+	return b.AddNamed("", expr, sense, rhs)
+}
+
+// AddNamed stages a named constraint. Like Model.AddNamed, the expression's
+// constant is folded into the right-hand side at staging time.
+func (b *Batch) AddNamed(name string, expr *Expr, sense Sense, rhs float64) int {
+	idx, coef := expr.compact()
+	b.rows = append(b.rows, batchRow{name: name, sense: sense, rhs: rhs - expr.Constant, idx: idx, coef: coef})
+	return len(b.rows) - 1
+}
+
+// AddLE stages expr ≤ rhs.
+func (b *Batch) AddLE(expr *Expr, rhs float64) int { return b.AddConstraint(expr, LE, rhs) }
+
+// AddGE stages expr ≥ rhs.
+func (b *Batch) AddGE(expr *Expr, rhs float64) int { return b.AddConstraint(expr, GE, rhs) }
+
+// AddEQ stages expr = rhs.
+func (b *Batch) AddEQ(expr *Expr, rhs float64) int { return b.AddConstraint(expr, EQ, rhs) }
+
+// Splice appends a batch to the model: local variables first (the k-th
+// staged variable becomes varBase+k), then rows in staging order with local
+// variable references remapped. Because a block's rows can only reference
+// pre-existing model variables and its own locals — and compact() keeps row
+// indices sorted with locals (≥ batchVarBase) after all globals — the
+// spliced rows are byte-identical to emitting the same block directly on
+// the model.
+func (m *Model) Splice(b *Batch) (varBase, rowBase int) {
+	varBase, rowBase = len(m.cols), len(m.rows)
+	if len(b.cols) == 0 && len(b.rows) == 0 {
+		return varBase, rowBase
+	}
+	for _, c := range b.cols {
+		m.cols = append(m.cols, column{name: c.name, lo: c.lo, hi: c.hi})
+	}
+	for _, r := range b.rows {
+		ri := int32(len(m.rows))
+		m.rows = append(m.rows, rowMeta{name: r.name, sense: r.sense, rhs: r.rhs, nnz: len(r.idx)})
+		for i, ci := range r.idx {
+			if ci >= int32(batchVarBase) {
+				ci = int32(varBase) + (ci - int32(batchVarBase))
+			}
+			c := &m.cols[ci]
+			c.rowIdx = append(c.rowIdx, ri)
+			c.rowCoef = append(c.rowCoef, r.coef[i])
+		}
+	}
+	m.structVersion++
+	return varBase, rowBase
+}
+
+// SpliceVar translates a batch-local variable handle returned by
+// Batch.NewVar into the model variable it became after Splice, given the
+// varBase Splice returned. Global handles pass through unchanged.
+func SpliceVar(v Var, varBase int) Var {
+	if v >= batchVarBase {
+		return Var(varBase) + (v - batchVarBase)
+	}
+	return v
+}

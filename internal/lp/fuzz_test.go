@@ -1,0 +1,68 @@
+package lp
+
+import "testing"
+
+// decodeRefProblem derives a small all-finite-bounds LP from fuzz bytes:
+// up to 4 variables and 4 rows with half-integer data (exactly
+// representable, so the enumeration oracle's tolerances are meaningful).
+// Exhausted input reads as zero, so every byte string decodes.
+func decodeRefProblem(data []byte) *refProblem {
+	i := 0
+	next := func() int {
+		if i >= len(data) {
+			return 0
+		}
+		b := int(data[i])
+		i++
+		return b
+	}
+	n := 1 + next()%4
+	nRows := next() % 5
+	p := &refProblem{
+		n:        n,
+		maximize: next()%2 == 0,
+		obj:      make([]float64, n),
+		lo:       make([]float64, n),
+		hi:       make([]float64, n),
+	}
+	for j := 0; j < n; j++ {
+		p.obj[j] = float64(next()%9 - 4)
+		p.lo[j] = float64(next()%7-3) / 2
+		p.hi[j] = p.lo[j] + float64(next()%6)/2 // hi == lo fixes the column
+	}
+	for r := 0; r < nRows; r++ {
+		row := make([]float64, n)
+		nz := 0
+		for j := range row {
+			row[j] = float64(next()%7 - 3)
+			if row[j] != 0 {
+				nz++
+			}
+		}
+		if nz == 0 {
+			row[0] = 1
+		}
+		p.rows = append(p.rows, row)
+		p.sense = append(p.sense, Sense(next()%3))
+		p.rhs = append(p.rhs, float64(next()%21-10)/2)
+	}
+	return p
+}
+
+// FuzzSolveSmallLP fuzzes the simplex against the brute-force vertex
+// enumerator: on every decoded problem the two must agree on feasibility,
+// on the optimal objective, and the simplex's point must satisfy every
+// constraint (checkAgainstRef, the same oracle the seeded differential
+// suite uses).
+func FuzzSolveSmallLP(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{2, 1, 0, 3, 1, 4, 2, 2, 3, 1, 1, 2, 5})
+	f.Add([]byte{3, 4, 1, 0, 2, 2, 4, 1, 3, 6, 0, 5, 1, 2, 3, 0, 4, 2, 1, 6, 3, 0, 2, 18})
+	f.Add([]byte{1, 2, 0, 8, 0, 0, 6, 2, 0, 6, 1, 20}) // equality rows vs a fixed column
+	f.Fuzz(func(t *testing.T, data []byte) {
+		p := decodeRefProblem(data)
+		m, _ := p.toModel()
+		sol, err := m.Solve()
+		checkAgainstRef(t, "fuzz", p, sol, err)
+	})
+}

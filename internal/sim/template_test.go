@@ -1,0 +1,69 @@
+package sim
+
+import (
+	"reflect"
+	"testing"
+
+	"ffc/internal/core"
+	"ffc/internal/faults"
+)
+
+// TestTemplateInvariantUnderSolverFaults runs the same fault-injected,
+// warm-started control loop with the model template enabled, disabled, and
+// with parallel constraint emission, and requires identical outcomes —
+// including the degraded intervals, where the loop falls back to the
+// last-good plan (PR 4's path) around a timed-out, crashed, or stale solve.
+// The template and the parallel builder promise byte-identical models, so
+// every accounting number must match bit for bit.
+func TestTemplateInvariantUnderSolverFaults(t *testing.T) {
+	sc := quietScenario(t, 23, 8, 0.9)
+	inject := faults.SolverFaultModel{
+		Force: map[int]faults.SolverFaultKind{
+			2: faults.SolverStale,
+			4: faults.SolverTimeout,
+			6: faults.SolverCrash,
+		},
+	}
+	base := RunConfig{
+		Prot:         core.Protection{Ke: 1},
+		WarmStart:    true,
+		SolverFaults: inject,
+	}
+	variants := []struct {
+		name string
+		opts core.Options
+	}{
+		{"template", core.Options{}},
+		{"scratch", core.Options{DisableTemplate: true}},
+		{"template_parallel_build", core.Options{BuildWorkers: -1}},
+		{"scratch_parallel_build", core.Options{DisableTemplate: true, BuildWorkers: -1}},
+	}
+	var ref *Result
+	for _, v := range variants {
+		cfg := base
+		cfg.SolverOpts = v.opts
+		res, err := Run(sc, cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", v.name, err)
+		}
+		if res.DegradedIntervals != 3 {
+			t.Fatalf("%s: DegradedIntervals = %d, want 3", v.name, res.DegradedIntervals)
+		}
+		// Wall-clock metrics differ run to run; compare everything the
+		// controller's decisions and the data plane produced.
+		if ref == nil {
+			ref = res
+			continue
+		}
+		if !reflect.DeepEqual(res.Timeline, ref.Timeline) {
+			t.Fatalf("%s: timeline differs from %s", v.name, variants[0].name)
+		}
+		if res.Total != ref.Total {
+			t.Fatalf("%s: totals differ: %+v vs %+v", v.name, res.Total, ref.Total)
+		}
+		if res.Reactions != ref.Reactions || res.DegradedIntervals != ref.DegradedIntervals {
+			t.Fatalf("%s: reactions/degraded differ (%d/%d vs %d/%d)",
+				v.name, res.Reactions, res.DegradedIntervals, ref.Reactions, ref.DegradedIntervals)
+		}
+	}
+}

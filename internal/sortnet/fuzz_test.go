@@ -1,0 +1,67 @@
+package sortnet
+
+import (
+	"math"
+	"sort"
+	"testing"
+
+	"ffc/internal/lp"
+)
+
+// FuzzPartialBubbleVsSort fuzzes the partial bubble sorting network against
+// plain sorting (sort.Slice): with the network's inputs pinned by variable
+// bounds, minimizing the encoded top-M sum (resp. maximizing the bottom-M
+// sum) must recover exactly the sum of the M largest (smallest) values —
+// the encoding is tight on constants. Values are byte-derived quarters, so
+// the oracle's sums are exact in float64. M may exceed n to exercise the
+// encoder's clamping.
+func FuzzPartialBubbleVsSort(f *testing.F) {
+	f.Add(uint8(1), []byte{10, 20, 30})
+	f.Add(uint8(3), []byte{5, 5, 5, 5})
+	f.Add(uint8(7), []byte{0})
+	f.Add(uint8(2), []byte{255, 0, 128, 64, 32, 16, 8, 4})
+	f.Fuzz(func(t *testing.T, mRaw uint8, data []byte) {
+		if len(data) == 0 {
+			return
+		}
+		n := len(data)
+		if n > 8 {
+			n = 8 // keep each LP tiny; the network is uniform in n
+		}
+		vals := make([]float64, n)
+		for i := 0; i < n; i++ {
+			vals[i] = float64(data[i]) / 4
+		}
+		M := 1 + int(mRaw)%(n+2)
+
+		sorted := append([]float64(nil), vals...)
+		sort.Slice(sorted, func(i, j int) bool { return sorted[i] > sorted[j] })
+		var top, bottom float64
+		for i := 0; i < M && i < n; i++ {
+			top += sorted[i]
+			bottom += sorted[n-1-i]
+		}
+
+		m := lp.NewModel()
+		res := LargestSum(m, fixedExprs(m, vals), M, "top")
+		m.Minimize(res.Sum)
+		sol, err := m.Solve()
+		if err != nil {
+			t.Fatalf("largest: solve failed: %v (vals %v, M %d)", err, vals, M)
+		}
+		if math.Abs(sol.Objective-top) > 1e-6*(1+top) {
+			t.Fatalf("largest: min Σtop%d = %v, sort.Slice says %v (vals %v)", M, sol.Objective, top, vals)
+		}
+
+		m2 := lp.NewModel()
+		res2 := SmallestSum(m2, fixedExprs(m2, vals), M, "bot")
+		m2.Maximize(res2.Sum)
+		sol2, err := m2.Solve()
+		if err != nil {
+			t.Fatalf("smallest: solve failed: %v (vals %v, M %d)", err, vals, M)
+		}
+		if math.Abs(sol2.Objective-bottom) > 1e-6*(1+bottom) {
+			t.Fatalf("smallest: max Σbottom%d = %v, sort.Slice says %v (vals %v)", M, sol2.Objective, bottom, vals)
+		}
+	})
+}

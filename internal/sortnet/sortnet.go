@@ -73,87 +73,43 @@ type Result struct {
 // Inputs are assumed bounded below in the model (the usual case: FFC inputs
 // are non-negative traffic quantities); the auxiliaries are created as free
 // variables so negative inputs are handled too.
-func LargestSum(m *lp.Model, exprs []*lp.Expr, M int, name string) Result {
+//
+// The comparator network for a given (len(exprs), M) is derived once and
+// memoized (see cache.go); each call stamps the cached template into m. The
+// emitter may be a *lp.Model or a *lp.Batch for parallel block emission.
+func LargestSum(m lp.Emitter, exprs []*lp.Expr, M int, name string) Result {
 	return partialSort(m, exprs, M, name, true)
 }
 
 // SmallestSum is the symmetric construction: the returned expression is
 // ≤ the sum of the M smallest inputs in any feasible assignment, for use on
 // the left side of a ≥ constraint (Eqn 15 of the paper).
-func SmallestSum(m *lp.Model, exprs []*lp.Expr, M int, name string) Result {
+func SmallestSum(m lp.Emitter, exprs []*lp.Expr, M int, name string) Result {
 	return partialSort(m, exprs, M, name, false)
 }
 
-func partialSort(m *lp.Model, exprs []*lp.Expr, M int, name string, largest bool) Result {
+func partialSort(m lp.Emitter, exprs []*lp.Expr, M int, name string, largest bool) Result {
 	if M < 0 {
 		M = 0
 	}
 	if M > len(exprs) {
 		M = len(exprs)
 	}
-	res := Result{Sum: lp.NewExpr()}
 	if M == 0 {
-		return res
+		return Result{Sum: lp.NewExpr()}
 	}
-	defer func() {
-		obsNetEncodings.Inc()
-		obsNetComparators.Add(int64(res.Comparators))
-		obsNetVars.Add(int64(res.Vars))
-		obsNetCons.Add(int64(res.Constraints))
-	}()
-	// Working wires: start as the input expressions; each bubble pass
-	// replaces them with loser wires and extracts one winner.
-	wires := make([]*lp.Expr, len(exprs))
-	copy(wires, exprs)
-	for pass := 0; pass < M; pass++ {
-		if len(wires) == 1 {
-			// Single wire left: it is its own extremum; bind it to a
-			// fresh variable to keep the Ranked contract (one var/rank).
-			y := m.NewVar(fmt.Sprintf("%s.y%d", name, pass), negInf(), lp.Inf)
-			ye := lp.NewExpr().Add(1, y)
-			if largest {
-				m.AddGE(lp.NewExpr().Add(1, y).AddExpr(-1, wires[0]), 0)
-				res.Constraints++
-			} else {
-				m.AddLE(lp.NewExpr().Add(1, y).AddExpr(-1, wires[0]), 0)
-				res.Constraints++
-			}
-			res.Vars++
-			res.Ranked = append(res.Ranked, ye)
-			res.Sum.Add(1, y)
-			wires = nil
-			break
-		}
-		winner, losers, v, c := bubblePass(m, wires, fmt.Sprintf("%s.p%d", name, pass), largest)
-		res.Vars += v
-		res.Constraints += c
-		res.Comparators += len(wires) - 1
-		res.Ranked = append(res.Ranked, winner)
-		res.Sum.AddExpr(1, winner)
-		wires = losers
-	}
+	res := templateFor(largest, len(exprs), M).stamp(m, exprs, name, largest)
+	obsNetEncodings.Inc()
+	obsNetComparators.Add(int64(res.Comparators))
+	obsNetVars.Add(int64(res.Vars))
+	obsNetCons.Add(int64(res.Constraints))
 	return res
-}
-
-// bubblePass runs one bubble pass (Algorithm 2, BubbleMax): a chain of
-// compare-swaps that carries the running extremum through the array and
-// returns it plus the N−1 loser wires.
-func bubblePass(m *lp.Model, wires []*lp.Expr, name string, largest bool) (winner *lp.Expr, losers []*lp.Expr, vars, cons int) {
-	cur := wires[0]
-	for i := 1; i < len(wires); i++ {
-		hi, lo := compareSwap(m, cur, wires[i], fmt.Sprintf("%s.c%d", name, i), largest)
-		vars += 2
-		cons += 3
-		cur = hi
-		losers = append(losers, lo)
-	}
-	return cur, losers, vars, cons
 }
 
 // compareSwap emits one compare-swap operator. For largest=true, hi is an
 // over-approximation of max(x, y) and lo the complementary wire; for
 // largest=false the roles flip (hi under-approximates min).
-func compareSwap(m *lp.Model, x, y *lp.Expr, name string, largest bool) (hi, lo *lp.Expr) {
+func compareSwap(m lp.Emitter, x, y *lp.Expr, name string, largest bool) (hi, lo *lp.Expr) {
 	vh := m.NewVar(name+".h", negInf(), lp.Inf)
 	vl := m.NewVar(name+".l", negInf(), lp.Inf)
 	he := lp.NewExpr().Add(1, vh)
@@ -183,7 +139,7 @@ func negInf() float64 { return -lp.Inf }
 // (CVaR-style) constraint; it uses N+1 variables and N constraints versus
 // the sorting network's O(N·M). It exists as an ablation/validation
 // alternative to the paper's sorting-network encoding.
-func TopKCompact(m *lp.Model, exprs []*lp.Expr, M int, name string) Result {
+func TopKCompact(m lp.Emitter, exprs []*lp.Expr, M int, name string) Result {
 	if M < 0 {
 		M = 0
 	}
@@ -218,7 +174,7 @@ func publishCompact(res *Result) {
 
 // BottomKCompact is the symmetric compact encoding lower-bounding the sum of
 // the M smallest inputs: M·s − Σ tᵢ with tᵢ ≥ s − exprᵢ, tᵢ ≥ 0.
-func BottomKCompact(m *lp.Model, exprs []*lp.Expr, M int, name string) Result {
+func BottomKCompact(m lp.Emitter, exprs []*lp.Expr, M int, name string) Result {
 	if M < 0 {
 		M = 0
 	}

@@ -5,9 +5,9 @@ import (
 	"testing"
 )
 
-// FuzzParseGraphML: arbitrary bytes must never panic the parser, and any
+// FuzzGraphMLParse: arbitrary bytes must never panic the parser, and any
 // accepted topology must validate.
-func FuzzParseGraphML(f *testing.F) {
+func FuzzGraphMLParse(f *testing.F) {
 	f.Add(abileneGraphML)
 	f.Add(`<graphml><graph id="g"><node id="a"/><node id="b"/><edge source="a" target="b"/></graph></graphml>`)
 	f.Add(`<graphml>`)

@@ -1,0 +1,152 @@
+package ffc
+
+import (
+	"testing"
+	"time"
+
+	"ffc/internal/core"
+	"ffc/internal/demand"
+)
+
+// modelBuildSolver is the S-Net solver the model-build measurements run on:
+// mice classification off (it re-buckets flows by demand every interval,
+// changing the column set and making no interval template-reusable), same
+// as the warm-start chain in warm_bench_test.go.
+func modelBuildSolver(tb testing.TB) *core.Solver {
+	e := getSNetEnv(tb)
+	opts := e.Opts
+	opts.MiceFraction = 0
+	return core.NewSolver(e.Net, e.Tun, opts)
+}
+
+// buildChain constructs every re-build interval's model (interval 0 is the
+// unavoidable cold build either way and is excluded): cold formulates from
+// scratch each time, warm freezes one ModelTemplate and re-instantiates it
+// by rewriting bounds/RHS/objective coefficients in place. Returns the time
+// spent on the re-build intervals.
+func buildChain(tb testing.TB, solver *core.Solver, series demand.Series, warm bool) time.Duration {
+	tb.Helper()
+	in := func(i int) core.Input {
+		return core.Input{Demands: series[i], Prot: core.Protection{Ke: 2}}
+	}
+	if !warm {
+		var elapsed time.Duration
+		for i := 1; i < len(series); i++ {
+			t0 := time.Now()
+			if _, err := solver.NewTemplate(in(i)); err != nil {
+				tb.Fatalf("interval %d: %v", i, err)
+			}
+			elapsed += time.Since(t0)
+		}
+		return elapsed
+	}
+	tmpl, err := solver.NewTemplate(in(0))
+	if err != nil {
+		tb.Fatal(err)
+	}
+	var elapsed time.Duration
+	for i := 1; i < len(series); i++ {
+		t0 := time.Now()
+		if err := tmpl.Instantiate(in(i)); err != nil {
+			tb.Fatalf("interval %d: %v", i, err)
+		}
+		elapsed += time.Since(t0)
+	}
+	return elapsed
+}
+
+// TestModelBuildTemplateSpeedupSNet is the acceptance gate for the
+// formulation cache: across the S-Net re-build chain, instantiating the
+// frozen template must be at least 2x faster per interval than formulating
+// from scratch. (In practice the gap is orders of magnitude — instantiate
+// touches only bounds and RHS — so the 2x floor is safe against timer
+// noise.) Bit-identity of the resulting models and solutions is asserted
+// separately in internal/core's template equivalence suite and in
+// TestSessionTemplateSolveMatchesScratchSNet below.
+func TestModelBuildTemplateSpeedupSNet(t *testing.T) {
+	if testing.Short() {
+		t.Skip("S-Net chain is slow; skipped with -short")
+	}
+	series := resolveSeries(t, 6)
+	solver := modelBuildSolver(t)
+	cold := buildChain(t, solver, series, false)
+	warm := buildChain(t, solver, series, true)
+	if warm <= 0 {
+		warm = time.Nanosecond
+	}
+	if 2*warm > cold {
+		t.Fatalf("template instantiate took %v vs %v scratch — less than the required 2x speedup", warm, cold)
+	}
+	t.Logf("model build over %d intervals: scratch %v, template %v (%.1fx)",
+		len(series)-1, cold, warm, float64(cold)/float64(warm))
+}
+
+// TestSessionTemplateSolveMatchesScratchSNet runs the warm-started S-Net
+// re-solve chain with the model template enabled and disabled and requires
+// exactly equal states: the instantiated model is byte-identical to a
+// scratch formulation, so with the same carried basis the simplex must walk
+// the same path to the same bits. ke=1 keeps the chain fast; byte-identity
+// of the ke=2 formulation itself is covered in internal/core's suite.
+func TestSessionTemplateSolveMatchesScratchSNet(t *testing.T) {
+	if testing.Short() {
+		t.Skip("S-Net chain is slow; skipped with -short")
+	}
+	series := resolveSeries(t, 4)
+	e := getSNetEnv(t)
+	run := func(disable bool) []*core.State {
+		opts := e.Opts
+		opts.MiceFraction = 0
+		opts.DisableTemplate = disable
+		se := core.NewSolver(e.Net, e.Tun, opts).NewSession()
+		var out []*core.State
+		for i, dem := range series {
+			st, stats, err := se.Solve(core.Input{Demands: dem, Prot: core.Protection{Ke: 1}})
+			if err != nil {
+				t.Fatalf("disable=%v interval %d: %v", disable, i, err)
+			}
+			if wantReuse := !disable && i > 0; stats.ModelReused != wantReuse {
+				t.Fatalf("disable=%v interval %d: ModelReused=%v, want %v", disable, i, stats.ModelReused, wantReuse)
+			}
+			out = append(out, st)
+		}
+		return out
+	}
+	withTmpl, scratch := run(false), run(true)
+	for i := range withTmpl {
+		for f, r := range scratch[i].Rate {
+			if withTmpl[i].Rate[f] != r {
+				t.Fatalf("interval %d flow %v: rate %v (template) != %v (scratch)", i, f, withTmpl[i].Rate[f], r)
+			}
+		}
+		for f, alloc := range scratch[i].Alloc {
+			got := withTmpl[i].Alloc[f]
+			for j := range alloc {
+				if got[j] != alloc[j] {
+					t.Fatalf("interval %d flow %v tunnel %d: alloc %v (template) != %v (scratch)",
+						i, f, j, got[j], alloc[j])
+				}
+			}
+		}
+	}
+}
+
+// BenchmarkModelBuildWarmVsCold times one S-Net model-construction chain
+// per op — every interval formulated from scratch (cold) versus one frozen
+// ModelTemplate re-instantiated per interval (warm). The warm/cold ns/op
+// ratio is the formulation cache's payoff; the CI bench gate watches both
+// entries (ffcbench emits the same workload as modelbuild_cold/_warm).
+func BenchmarkModelBuildWarmVsCold(b *testing.B) {
+	series := resolveSeries(b, 6)
+	solver := modelBuildSolver(b)
+	for _, mode := range []struct {
+		name string
+		warm bool
+	}{{"cold", false}, {"warm", true}} {
+		b.Run(mode.name, func(b *testing.B) {
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				buildChain(b, solver, series, mode.warm)
+			}
+		})
+	}
+}
