@@ -15,12 +15,15 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"math/rand"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 	"time"
 
 	"ffc/internal/core"
@@ -107,9 +110,15 @@ func main() {
 			needEnv = true
 		}
 	}
+	// SIGINT/SIGTERM cancel the sim-backed experiments through the solver
+	// budget path; interrupted figures report partial aggregates and the
+	// run proceeds to whatever output it can still write.
+	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer cancel()
+
 	if needEnv {
 		cfg := experiments.EnvConfig{Sites: *sites, Intervals: *intervals, Seed: *seed, TunnelsPerFlow: *tunnels, Parallelism: *par, WarmStart: *warm, SolverDeadline: *deadline, SolverFaults: injected,
-			BuildWorkers: experiments.BuildWorkersFor(*par), NoTemplate: !*template}
+			BuildWorkers: experiments.BuildWorkersFor(*par), NoTemplate: !*template, Ctx: ctx}
 		if *netKind == "lnet" || *netKind == "both" {
 			fmt.Fprintf(os.Stderr, "building L-Net environment (%d sites, %d intervals)...\n", *sites, *intervals)
 			env, err := experiments.NewLNet(cfg)
@@ -176,7 +185,11 @@ func main() {
 	start := time.Now()
 	var parTimes metrics.Stopwatch
 	pass(os.Stdout, &parTimes, true)
-	fmt.Fprintf(os.Stderr, "all done in %v\n", time.Since(start).Round(time.Millisecond))
+	if ctx.Err() != nil {
+		fmt.Fprintf(os.Stderr, "interrupted after %v: figure aggregates above cover only the completed intervals\n", time.Since(start).Round(time.Millisecond))
+	} else {
+		fmt.Fprintf(os.Stderr, "all done in %v\n", time.Since(start).Round(time.Millisecond))
+	}
 
 	workers := parallel.Workers(*par)
 	var serTimes *metrics.Stopwatch

@@ -10,10 +10,13 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"math/rand"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"ffc/internal/core"
@@ -65,9 +68,16 @@ func main() {
 		fmt.Fprintf(os.Stderr, "debug server on http://%s/debug/obs (pprof, vars)\n", addr)
 	}
 
+	// SIGINT/SIGTERM cancel the runs through the sim's budget path: the
+	// in-flight solves stop within an iteration batch and the partial
+	// results (intervals completed so far) are still printed. A second
+	// signal kills the process the default way.
+	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer cancel()
+
 	var env *experiments.Env
 	cfg := experiments.EnvConfig{Sites: *sites, Intervals: *intervals, Seed: *seed, Parallelism: *par,
-		BuildWorkers: experiments.BuildWorkersFor(*par), NoTemplate: !*template}
+		BuildWorkers: experiments.BuildWorkersFor(*par), NoTemplate: !*template, Ctx: ctx}
 	switch *netKind {
 	case "lnet":
 		env, err = experiments.NewLNet(cfg)
@@ -116,6 +126,10 @@ func main() {
 		fatalf("%v", err)
 	}
 	base, ffcRes := res[0], res[1]
+	if base.Interrupted || ffcRes.Interrupted {
+		fmt.Fprintf(os.Stderr, "ffcsim: interrupted: partial results over %d/%d base and %d/%d FFC intervals\n",
+			base.Intervals, *intervals, ffcRes.Intervals, *intervals)
+	}
 
 	tab := metrics.NewTable("metric", "non-FFC", "FFC", "ratio")
 	row := func(name string, b, f float64) {

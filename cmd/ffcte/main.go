@@ -103,7 +103,14 @@ func main() {
 
 	prev := core.NewState()
 	if *prevPath != "" {
-		prev = readPrevState(&net, set, *prevPath)
+		blob, err := os.ReadFile(*prevPath)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		prev, err = wire.ParseState(&net, set, blob)
+		if err != nil {
+			fatalf("prev state: %v", err)
+		}
 	}
 
 	prot := core.Protection{Kc: *kc, Ke: *ke, Kv: *kv}
@@ -174,46 +181,6 @@ func main() {
 	if err := enc.Encode(wire.EncodeState(&net, set, demands, st)); err != nil {
 		fatalf("%v", err)
 	}
-}
-
-// readPrevState reloads a state file produced by this tool, matching its
-// tunnels to the freshly laid-out set by path.
-func readPrevState(net *topology.Network, set *tunnel.Set, path string) *core.State {
-	var sf wire.StateFile
-	mustReadJSON(path, &sf)
-	st := core.NewState()
-	for _, f := range sf.Flows {
-		src, ok1 := net.SwitchByName(f.Src)
-		dst, ok2 := net.SwitchByName(f.Dst)
-		if !ok1 || !ok2 {
-			fatalf("prev state references unknown switch %q/%q", f.Src, f.Dst)
-		}
-		fl := tunnel.Flow{Src: src, Dst: dst}
-		st.Rate[fl] = f.Rate
-		ts := set.Tunnels(fl)
-		alloc := make([]float64, len(ts))
-		for _, ta := range f.Tunnels {
-			for _, t := range ts {
-				if samePathNames(net, t, ta.Path) {
-					alloc[t.Index] = ta.Alloc
-				}
-			}
-		}
-		st.Alloc[fl] = alloc
-	}
-	return st
-}
-
-func samePathNames(net *topology.Network, t *tunnel.Tunnel, names []string) bool {
-	if len(t.Switches) != len(names) {
-		return false
-	}
-	for i, sw := range t.Switches {
-		if net.Switches[sw].Name != names[i] {
-			return false
-		}
-	}
-	return true
 }
 
 func mustReadJSON(path string, v interface{}) {

@@ -1,0 +1,128 @@
+package ctrl
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"ffc/internal/wire"
+)
+
+// Client speaks the ffcd protocol over one TCP connection. Safe for
+// concurrent use: requests are serialized on the connection (the protocol
+// answers in order). For parallel load, open several clients.
+type Client struct {
+	mu   sync.Mutex
+	conn net.Conn
+	r    *bufio.Reader
+}
+
+// Dial connects to an ffcd server.
+func Dial(addr string, timeout time.Duration) (*Client, error) {
+	conn, err := net.DialTimeout("tcp", addr, timeout)
+	if err != nil {
+		return nil, fmt.Errorf("ctrl: dial %s: %w", addr, err)
+	}
+	r := bufio.NewReaderSize(conn, 64<<10)
+	return &Client{conn: conn, r: r}, nil
+}
+
+// Close closes the connection.
+func (c *Client) Close() error { return c.conn.Close() }
+
+// do sends one frame and reads one reply.
+func (c *Client) do(frame []byte) (*Response, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, err := c.conn.Write(append(frame, '\n')); err != nil {
+		return nil, fmt.Errorf("ctrl: send: %w", err)
+	}
+	line, err := c.r.ReadBytes('\n')
+	if err != nil {
+		return nil, fmt.Errorf("ctrl: recv: %w", err)
+	}
+	var resp Response
+	if err := json.Unmarshal(line, &resp); err != nil {
+		return nil, fmt.Errorf("ctrl: bad reply: %w", err)
+	}
+	return &resp, nil
+}
+
+// Query sends `{"q":...}` and returns the reply (an error reply is an
+// error, not a Response).
+func (c *Client) Query(q string) (*Response, error) {
+	resp, err := c.do([]byte(fmt.Sprintf(`{"q":%q}`, q)))
+	if err != nil {
+		return nil, err
+	}
+	if !resp.OK {
+		return nil, fmt.Errorf("ctrl: server: %s", resp.Error)
+	}
+	return resp, nil
+}
+
+// Ping round-trips a ping frame.
+func (c *Client) Ping() error {
+	_, err := c.Query(QueryPing)
+	return err
+}
+
+// Meta fetches the installed plan's metadata.
+func (c *Client) Meta() (*Meta, error) {
+	resp, err := c.Query(QueryMeta)
+	if err != nil {
+		return nil, err
+	}
+	return resp.Meta, nil
+}
+
+// GetPlan fetches the installed plan: metadata plus the full
+// wire.StateFile.
+func (c *Client) GetPlan() (*Meta, *wire.StateFile, error) {
+	resp, err := c.Query(QueryPlan)
+	if err != nil {
+		return nil, nil, err
+	}
+	var sf wire.StateFile
+	if err := json.Unmarshal(resp.Plan, &sf); err != nil {
+		return nil, nil, fmt.Errorf("ctrl: bad plan payload: %w", err)
+	}
+	return resp.Meta, &sf, nil
+}
+
+// GetRoutes fetches the installed flow entries.
+func (c *Client) GetRoutes() (*Meta, []wire.StateFlow, error) {
+	resp, err := c.Query(QueryRoutes)
+	if err != nil {
+		return nil, nil, err
+	}
+	return resp.Meta, resp.Routes, nil
+}
+
+// Stats fetches the controller accounting.
+func (c *Client) Stats() (*StatsSnapshot, error) {
+	resp, err := c.Query(QueryStats)
+	if err != nil {
+		return nil, err
+	}
+	return resp.Stats, nil
+}
+
+// Update streams one update frame and waits for its ack.
+func (c *Client) Update(u *wire.Update) error {
+	frame, err := wire.EncodeUpdate(u)
+	if err != nil {
+		return err
+	}
+	resp, err := c.do(frame)
+	if err != nil {
+		return err
+	}
+	if !resp.OK {
+		return fmt.Errorf("ctrl: server: %s", resp.Error)
+	}
+	return nil
+}

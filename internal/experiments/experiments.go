@@ -12,6 +12,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"math/rand"
@@ -58,6 +59,11 @@ type Env struct {
 	// results) into every sim the harness builds. Mutable between figure
 	// runs.
 	SolverFaults faults.SolverFaultModel
+	// Ctx cancels every sim.Scenario the environment builds (see
+	// sim.Scenario.Ctx): long CLI runs wire SIGINT/SIGTERM here so an
+	// interrupted sweep still reports the intervals it finished. Mutable
+	// between figure runs.
+	Ctx context.Context
 }
 
 // EnvConfig sizes an environment.
@@ -95,6 +101,8 @@ type EnvConfig struct {
 	// SolverFaults injects controller failures into every sim run (see
 	// Env.SolverFaults).
 	SolverFaults faults.SolverFaultModel
+	// Ctx cancels every scenario the environment builds (see Env.Ctx).
+	Ctx context.Context
 	// BuildWorkers bounds parallel constraint emission inside each TE
 	// solve (core.Options.BuildWorkers): 0 (the default) derives it from
 	// Parallelism for sim runs, negative means all cores, positive is
@@ -133,7 +141,7 @@ func buildEnv(name string, net *topology.Network, cfg EnvConfig) (*Env, error) {
 	if err != nil {
 		return nil, fmt.Errorf("experiments: calibrating %s: %w", name, err)
 	}
-	return &Env{Name: name, Net: net, Tun: tun, Series: series, Scale1: scale1, Seed: cfg.Seed, Opts: opts, Parallelism: cfg.Parallelism, WarmStart: cfg.WarmStart, SolverDeadline: cfg.SolverDeadline, SolverFaults: cfg.SolverFaults}, nil
+	return &Env{Name: name, Net: net, Tun: tun, Series: series, Scale1: scale1, Seed: cfg.Seed, Opts: opts, Parallelism: cfg.Parallelism, WarmStart: cfg.WarmStart, SolverDeadline: cfg.SolverDeadline, SolverFaults: cfg.SolverFaults, Ctx: cfg.Ctx}, nil
 }
 
 // runCfg seeds a sim.RunConfig with the environment-wide solver settings:
@@ -190,6 +198,7 @@ func (e *Env) Scenario(scale float64, model faults.SwitchModel) sim.Scenario {
 		Switches:    model,
 		Seed:        e.Seed + 1000,
 		Parallelism: e.Parallelism,
+		Ctx:         e.Ctx,
 	}
 }
 

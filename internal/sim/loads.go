@@ -78,6 +78,7 @@ func (iv *intervalState) solveTE(prev []*core.State) error {
 			DownSwitches: iv.downSwitches,
 		}
 		in.Budget.Deadline = iv.cfg.SolverDeadline
+		in.Budget.Ctx = iv.sc.Ctx
 		injected := ""
 		if iv.solverFault != nil {
 			switch *iv.solverFault {
@@ -113,6 +114,10 @@ func (iv *intervalState) solveTE(prev []*core.State) error {
 		}
 		reason := ""
 		switch {
+		case err != nil && iv.sc.Ctx != nil && iv.sc.Ctx.Err() != nil:
+			// The run is being cancelled; the interval degrades to last-good
+			// and the interval loop exits with Result.Interrupted.
+			reason = "cancelled"
 		case err != nil:
 			reason = degradeReason(stats, injected)
 		case injected == "stale":

@@ -8,6 +8,7 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"time"
@@ -38,6 +39,12 @@ type Scenario struct {
 	// interval draws from its own faults.DeriveSeed-derived RNG, so
 	// results are bit-identical at any setting.
 	Parallelism int
+	// Ctx, when non-nil, cancels the run: the interval loop stops at the
+	// next interval boundary, and the in-flight solve is cancelled through
+	// the budget path (within one simplex iteration batch). A cancelled run
+	// returns its partial Result with Interrupted set rather than an error,
+	// so long CLI runs can emit what they measured on SIGINT/SIGTERM.
+	Ctx context.Context
 }
 
 // PriorityConfig enables multi-priority simulation (§8.4).
@@ -152,6 +159,9 @@ type Result struct {
 	// DegradedOversub collects MaxOversub over degraded intervals only —
 	// the availability cost of controller failures.
 	DegradedOversub metrics.Dist
+	// Interrupted marks a run cancelled via Scenario.Ctx: the aggregates
+	// cover only the intervals that completed.
+	Interrupted bool
 }
 
 // ThroughputRatioVs returns this run's delivered bytes over the baseline's
@@ -209,6 +219,10 @@ func Run(sc Scenario, cfg RunConfig) (*Result, error) {
 
 	var active []activeFault
 	for t, m := range sc.Series {
+		if sc.Ctx != nil && sc.Ctx.Err() != nil {
+			res.Interrupted = true
+			break
+		}
 		res.Intervals++
 		iv := intervalState{
 			sc: &sc, cfg: &cfg, rng: rng, solver: solver,

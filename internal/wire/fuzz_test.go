@@ -29,3 +29,30 @@ func FuzzParseDemands(f *testing.F) {
 		}
 	})
 }
+
+// FuzzParseUpdate guards the ffcd streaming-protocol decoder: a malformed
+// frame must error, never panic, and anything accepted must re-encode and
+// re-parse (the protocol is its own round-trip oracle).
+func FuzzParseUpdate(f *testing.F) {
+	f.Add([]byte(`{"op":"demands","demands":[{"src":"s2","dst":"s4","demand":7}]}`))
+	f.Add([]byte(`{"op":"demands","reset":true}`))
+	f.Add([]byte(`{"op":"link","src":"s1","dst":"s2","up":false}`))
+	f.Add([]byte(`{"op":"switch","switch":"s3","up":true}`))
+	f.Add([]byte(`{"op":"protection","kc":2,"ke":1,"kv":0}`))
+	f.Add([]byte(`{"op":"protection","kc":-1}`))
+	f.Add([]byte(`{`))
+	f.Add([]byte(`{"op":"demands","demands":[{"src":"a","dst":"a","demand":-1}]}`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		u, err := ParseUpdate(data)
+		if err != nil {
+			return
+		}
+		blob, err := EncodeUpdate(u)
+		if err != nil {
+			t.Fatalf("accepted update fails to encode: %v (%+v)", err, u)
+		}
+		if _, err := ParseUpdate(blob); err != nil {
+			t.Fatalf("re-encoded update fails to parse: %v (%s)", err, blob)
+		}
+	})
+}

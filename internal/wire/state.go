@@ -1,0 +1,96 @@
+package wire
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+
+	"ffc/internal/core"
+	"ffc/internal/topology"
+	"ffc/internal/tunnel"
+)
+
+// ParseState is the inverse of EncodeState: it decodes a state file and
+// resolves it against a topology and tunnel set. It validates everything an
+// attacker-controlled (or merely stale) file could get wrong — unknown
+// switch names, self-flows, non-finite or negative rates and allocations,
+// duplicate flows — and tolerates tunnels whose paths no longer exist in
+// the freshly laid-out set (their allocation is dropped, matching what the
+// controller can actually install). Both cmd/ffcte's -prev and the ffcd
+// daemon's snapshot restore go through here.
+func ParseState(net *topology.Network, set *tunnel.Set, data []byte) (*core.State, error) {
+	var sf StateFile
+	if err := json.Unmarshal(data, &sf); err != nil {
+		return nil, fmt.Errorf("wire: parsing state: %w", err)
+	}
+	return ResolveState(net, set, &sf)
+}
+
+// ResolveState resolves an already-decoded StateFile (see ParseState).
+func ResolveState(net *topology.Network, set *tunnel.Set, sf *StateFile) (*core.State, error) {
+	st := core.NewState()
+	seen := map[tunnel.Flow]bool{}
+	for i, f := range sf.Flows {
+		src, ok1 := net.SwitchByName(f.Src)
+		dst, ok2 := net.SwitchByName(f.Dst)
+		if !ok1 || !ok2 {
+			return nil, fmt.Errorf("wire: state flow %d: unknown switch %q/%q", i, f.Src, f.Dst)
+		}
+		if src == dst {
+			return nil, fmt.Errorf("wire: state flow %d: src == dst (%q)", i, f.Src)
+		}
+		fl := tunnel.Flow{Src: src, Dst: dst}
+		if seen[fl] {
+			return nil, fmt.Errorf("wire: state flow %d: duplicate flow %s->%s", i, f.Src, f.Dst)
+		}
+		seen[fl] = true
+		if err := checkFinite("rate", i, f.Rate); err != nil {
+			return nil, err
+		}
+		if err := checkFinite("demand", i, f.Demand); err != nil {
+			return nil, err
+		}
+		st.Rate[fl] = f.Rate
+		ts := set.Tunnels(fl)
+		alloc := make([]float64, len(ts))
+		for j, ta := range f.Tunnels {
+			if err := checkFinite("tunnel alloc", i, ta.Alloc); err != nil {
+				return nil, err
+			}
+			if err := checkFinite("tunnel weight", i, ta.Weight); err != nil {
+				return nil, err
+			}
+			if len(ta.Path) < 2 {
+				return nil, fmt.Errorf("wire: state flow %d tunnel %d: path has %d hops", i, j, len(ta.Path))
+			}
+			for _, t := range ts {
+				if samePathNames(net, t, ta.Path) {
+					alloc[t.Index] = ta.Alloc
+				}
+			}
+		}
+		st.Alloc[fl] = alloc
+	}
+	return st, nil
+}
+
+func checkFinite(what string, i int, v float64) error {
+	if math.IsNaN(v) || math.IsInf(v, 0) || v < 0 {
+		return fmt.Errorf("wire: state flow %d: %s is %g", i, what, v)
+	}
+	return nil
+}
+
+// samePathNames reports whether a laid-out tunnel follows exactly the named
+// switch sequence.
+func samePathNames(net *topology.Network, t *tunnel.Tunnel, names []string) bool {
+	if len(t.Switches) != len(names) {
+		return false
+	}
+	for i, sw := range t.Switches {
+		if net.Switches[sw].Name != names[i] {
+			return false
+		}
+	}
+	return true
+}

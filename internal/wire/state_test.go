@@ -1,0 +1,105 @@
+package wire
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"ffc/internal/core"
+	"ffc/internal/demand"
+	"ffc/internal/topology"
+	"ffc/internal/tunnel"
+)
+
+// solveExample computes a small real configuration to round-trip.
+func solveExample(t *testing.T) (*topology.Network, *tunnel.Set, demand.Matrix, *core.State) {
+	t.Helper()
+	net := topology.Example4()
+	s1, _ := net.SwitchByName("s1")
+	s2, _ := net.SwitchByName("s2")
+	s4, _ := net.SwitchByName("s4")
+	flows := []tunnel.Flow{{Src: s2, Dst: s4}, {Src: s1, Dst: s4}}
+	set := tunnel.Layout(net, flows, tunnel.LayoutConfig{TunnelsPerFlow: 2})
+	solver := core.NewSolver(net, set, core.Options{})
+	demands := demand.Matrix{flows[0]: 10, flows[1]: 4}
+	st, _, err := solver.Solve(core.Input{Demands: demands})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return net, set, demands, st
+}
+
+// TestParseStateRoundTrip checks encode → parse → encode is byte-stable:
+// ParseState is the exact inverse of EncodeState on files EncodeState
+// produced.
+func TestParseStateRoundTrip(t *testing.T) {
+	net, set, demands, st := solveExample(t)
+	first, err := json.Marshal(EncodeState(net, set, demands, st))
+	if err != nil {
+		t.Fatal(err)
+	}
+	parsed, err := ParseState(net, set, first)
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := json.Marshal(EncodeState(net, set, demands, parsed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(first) != string(second) {
+		t.Fatalf("round trip not byte-identical:\n first: %s\nsecond: %s", first, second)
+	}
+	if parsed.TotalRate() != st.TotalRate() {
+		t.Fatalf("total rate changed: %v vs %v", parsed.TotalRate(), st.TotalRate())
+	}
+}
+
+// TestParseStateUnknownPathTolerated: a tunnel whose path no longer exists
+// in the freshly laid-out set loses its allocation but does not error (the
+// topology may legitimately have changed between runs).
+func TestParseStateUnknownPathTolerated(t *testing.T) {
+	net, set, demands, st := solveExample(t)
+	sf := EncodeState(net, set, demands, st)
+	sf.Flows[0].Tunnels[0].Path = []string{"s2", "s3", "s1", "s4"} // not a laid-out tunnel
+	blob, _ := json.Marshal(sf)
+	parsed, err := ParseState(net, set, blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if parsed.TotalRate() != st.TotalRate() {
+		t.Fatalf("rates must survive: %v vs %v", parsed.TotalRate(), st.TotalRate())
+	}
+}
+
+func TestParseStateErrors(t *testing.T) {
+	net, set, demands, st := solveExample(t)
+	good := EncodeState(net, set, demands, st)
+	mutate := func(fn func(sf *StateFile)) []byte {
+		var sf StateFile
+		blob, _ := json.Marshal(good)
+		if err := json.Unmarshal(blob, &sf); err != nil {
+			t.Fatal(err)
+		}
+		fn(&sf)
+		out, _ := json.Marshal(sf)
+		return out
+	}
+	cases := []struct {
+		name string
+		blob []byte
+		want string
+	}{
+		{"garbage", []byte(`{"flows": 3}`), "parsing state"},
+		{"unknown-switch", mutate(func(sf *StateFile) { sf.Flows[0].Src = "nope" }), "unknown switch"},
+		{"self-flow", mutate(func(sf *StateFile) { sf.Flows[0].Dst = sf.Flows[0].Src }), "src == dst"},
+		{"negative-rate", mutate(func(sf *StateFile) { sf.Flows[0].Rate = -1 }), "rate is -1"},
+		{"negative-alloc", mutate(func(sf *StateFile) { sf.Flows[0].Tunnels[0].Alloc = -2 }), "tunnel alloc is -2"},
+		{"short-path", mutate(func(sf *StateFile) { sf.Flows[0].Tunnels[0].Path = []string{"s2"} }), "path has 1 hops"},
+		{"duplicate-flow", mutate(func(sf *StateFile) { sf.Flows = append(sf.Flows, sf.Flows[0]) }), "duplicate flow"},
+	}
+	for _, tc := range cases {
+		if _, err := ParseState(net, set, tc.blob); err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Fatalf("%s: error %v, want containing %q", tc.name, err, tc.want)
+		}
+	}
+}

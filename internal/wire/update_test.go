@@ -1,0 +1,88 @@
+package wire
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseUpdateAccepts(t *testing.T) {
+	cases := []struct {
+		name string
+		blob string
+		chk  func(u *Update) bool
+	}{
+		{"demands", `{"op":"demands","demands":[{"src":"a","dst":"b","demand":2.5}]}`,
+			func(u *Update) bool { return u.Op == UpdateDemands && len(u.Demands) == 1 }},
+		{"demands-reset", `{"op":"demands","reset":true}`,
+			func(u *Update) bool { return u.Reset && len(u.Demands) == 0 }},
+		{"link-down", `{"op":"link","src":"a","dst":"b","up":false}`,
+			func(u *Update) bool { return u.Op == UpdateLink && u.Up != nil && !*u.Up }},
+		{"switch-up", `{"op":"switch","switch":"a","up":true}`,
+			func(u *Update) bool { return u.Op == UpdateSwitch && *u.Up }},
+		{"protection", `{"op":"protection","kc":2,"ke":1}`,
+			func(u *Update) bool { return *u.Kc == 2 && *u.Ke == 1 && u.Kv == nil }},
+	}
+	for _, tc := range cases {
+		u, err := ParseUpdate([]byte(tc.blob))
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		if !tc.chk(u) {
+			t.Fatalf("%s: parsed wrong: %+v", tc.name, u)
+		}
+	}
+}
+
+func TestParseUpdateRejects(t *testing.T) {
+	cases := []struct {
+		name string
+		blob string
+		want string
+	}{
+		{"empty", ``, "parsing update"},
+		{"not-json", `}{`, "parsing update"},
+		{"no-op", `{"demands":[{"src":"a","dst":"b","demand":1}]}`, "missing op"},
+		{"unknown-op", `{"op":"reboot"}`, "unknown update op"},
+		{"unknown-field", `{"op":"link","src":"a","dst":"b","up":true,"bogus":1}`, "unknown field"},
+		{"trailing", `{"op":"demands","reset":true}{"op":"demands","reset":true}`, "trailing data"},
+		{"demands-empty", `{"op":"demands"}`, "no entries"},
+		{"demands-self", `{"op":"demands","demands":[{"src":"a","dst":"a","demand":1}]}`, "src == dst"},
+		{"demands-negative", `{"op":"demands","demands":[{"src":"a","dst":"b","demand":-3}]}`, "demand is -3"},
+		{"link-no-up", `{"op":"link","src":"a","dst":"b"}`, "missing up"},
+		{"link-self", `{"op":"link","src":"a","dst":"a","up":false}`, "src == dst"},
+		{"switch-no-name", `{"op":"switch","up":false}`, "missing switch"},
+		{"protection-empty", `{"op":"protection"}`, "changes nothing"},
+		{"protection-negative", `{"op":"protection","kc":-1}`, "out of range"},
+		{"protection-huge", `{"op":"protection","ke":100000}`, "out of range"},
+	}
+	for _, tc := range cases {
+		if _, err := ParseUpdate([]byte(tc.blob)); err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Fatalf("%s: error %v, want containing %q", tc.name, err, tc.want)
+		}
+	}
+}
+
+// TestEncodeUpdateRoundTrip: every encodable update parses back equal.
+func TestEncodeUpdateRoundTrip(t *testing.T) {
+	up := true
+	kc := 3
+	for _, u := range []*Update{
+		{Op: UpdateDemands, Demands: []DemandEntry{{Src: "a", Dst: "b", Demand: 7}}},
+		{Op: UpdateDemands, Reset: true},
+		{Op: UpdateLink, Src: "a", Dst: "b", Up: &up},
+		{Op: UpdateSwitch, Switch: "c", Up: &up},
+		{Op: UpdateProtection, Kc: &kc},
+	} {
+		blob, err := EncodeUpdate(u)
+		if err != nil {
+			t.Fatalf("%+v: %v", u, err)
+		}
+		back, err := ParseUpdate(blob)
+		if err != nil {
+			t.Fatalf("%s: %v", blob, err)
+		}
+		if back.Op != u.Op || len(back.Demands) != len(u.Demands) || back.Reset != u.Reset {
+			t.Fatalf("round trip changed: %+v vs %+v", back, u)
+		}
+	}
+}
