@@ -28,6 +28,7 @@ import (
 	"syscall"
 	"time"
 
+	"ffc/internal/check"
 	"ffc/internal/core"
 	"ffc/internal/ctrl"
 	"ffc/internal/faults"
@@ -59,6 +60,8 @@ func main() {
 		par        = flag.Int("parallel", 0, "LP constraint-emission workers (<=0 = all cores, 1 = serial)")
 		statsFlag  = flag.Bool("stats", false, "enable the obs registry (counters, latency histograms)")
 		debugAddr  = flag.String("debug-addr", "", "serve /debug/pprof, /debug/vars and /debug/obs on this address")
+		certify    = flag.Bool("certify", false, "independently certify every installed plan with internal/check (async; failures are logged and counted in cert_failures); restored snapshots certify before serving")
+		tracePath  = flag.String("trace", "", "append one NDJSON trace record per installed plan (replayable offline with ffccheck -trace)")
 	)
 	flag.Parse()
 	if *topoPath == "" {
@@ -119,6 +122,17 @@ func main() {
 	if err != nil {
 		fatalf("-inject-solver: %v", err)
 	}
+	if *certify {
+		cfg.Certify = &check.Params{}
+	}
+	var traceFile *os.File
+	if *tracePath != "" {
+		traceFile, err = os.OpenFile(*tracePath, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			fatalf("-trace: %v", err)
+		}
+		cfg.TraceWriter = traceFile
+	}
 	if *demPath != "" {
 		demBytes, err := os.ReadFile(*demPath)
 		if err != nil {
@@ -151,9 +165,19 @@ func main() {
 	signal.Stop(sigCh) // a second signal kills the process the default way
 	srv.Close()
 	c.Stop()
+	if traceFile != nil {
+		traceFile.Close()
+	}
 	s := c.Stats()
 	logger.Printf("drained: %d plans installed (%d degraded), %d updates, %d queries served",
 		s.PlansInstalled, s.DegradedInstalls, s.UpdatesApplied, s.QueriesServed)
+	if *certify {
+		logger.Printf("certification: %d runs, %d failures, %d skipped",
+			s.CertRuns, s.CertFailures, s.CertSkipped)
+		if s.CertFailures > 0 {
+			os.Exit(1)
+		}
+	}
 }
 
 func fatalf(format string, args ...interface{}) {

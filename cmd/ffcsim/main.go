@@ -10,6 +10,7 @@
 package main
 
 import (
+	"bufio"
 	"context"
 	"flag"
 	"fmt"
@@ -26,6 +27,7 @@ import (
 	"ffc/internal/metrics"
 	"ffc/internal/obs"
 	"ffc/internal/sim"
+	"ffc/internal/wire"
 )
 
 func main() {
@@ -49,6 +51,7 @@ func main() {
 		debugAddr  = flag.String("debug-addr", "", "serve /debug/pprof, /debug/vars and /debug/obs on this address")
 		deadline   = flag.Duration("solver-deadline", 0, "per-interval TE solve budget; a missed solve degrades the interval to the last-good plan (0 = unbounded)")
 		injectSpec = flag.String("inject-solver", "", "inject controller faults, e.g. timeout=0.1,crash=0.01,stale=0.02 (per-interval probabilities)")
+		tracePath  = flag.String("trace", "", "record the FFC run's installed plans as NDJSON trace records (replayable offline with ffccheck -trace)")
 	)
 	flag.Parse()
 
@@ -117,6 +120,34 @@ func main() {
 	for _, c := range []*sim.RunConfig{&baseCfg, &ffcCfg} {
 		c.SolverDeadline = *deadline
 		c.SolverFaults = injected
+	}
+	if *tracePath != "" {
+		traceFile, err := os.Create(*tracePath)
+		if err != nil {
+			fatalf("-trace: %v", err)
+		}
+		defer traceFile.Close()
+		tw := bufio.NewWriter(traceFile)
+		defer tw.Flush()
+		// Trace the FFC run only (the baseline's unprotected plans certify
+		// trivially at kc=ke=kv=0 and would double the file for nothing).
+		ffcCfg.OnPlan = func(pr sim.PlanRecord) {
+			links, sws := wire.NamedDownSets(env.Net, pr.DownLinks, pr.DownSwitches)
+			rec := &wire.TraceRecord{
+				Seq:          int64(pr.Interval) + 1,
+				Class:        pr.Class.String(),
+				Kc:           pr.Prot.Kc,
+				Ke:           pr.Prot.Ke,
+				Kv:           pr.Prot.Kv,
+				Degraded:     pr.Degraded,
+				DownLinks:    links,
+				DownSwitches: sws,
+				State:        wire.EncodeState(env.Net, sc.Tun, pr.Demands, pr.State),
+			}
+			if err := wire.WriteTraceRecord(tw, rec); err != nil {
+				fatalf("-trace: %v", err)
+			}
+		}
 	}
 
 	fmt.Fprintf(os.Stderr, "simulating %s: %d switches, %d links, %d intervals, scale %.2g, %s model...\n",

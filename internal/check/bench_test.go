@@ -1,0 +1,31 @@
+package check
+
+// BenchmarkCertSNet measures certifying the saturated S-Net ke=2/kv=1
+// plan — the dominant cost of running ffccheck over a recorded trace or
+// the controller's async certifier. The exact variant enumerates every
+// pruned fault combination; the adversarial variant is the bounded
+// search large topologies fall back to.
+
+import "testing"
+
+func BenchmarkCertSNet(b *testing.B) {
+	net, set, _, st := snetPlan(b)
+	run := func(b *testing.B, p Params) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			cert, err := Certify(net, set, st, st, p)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if !cert.OK {
+				b.Fatalf("fixture plan failed certification: %+v", cert.Violation)
+			}
+		}
+	}
+	b.Run("exact", func(b *testing.B) {
+		run(b, Params{Prot: snetProt, Mode: Exact})
+	})
+	b.Run("adversarial", func(b *testing.B) {
+		run(b, Params{Prot: snetProt, Mode: Adversarial})
+	})
+}

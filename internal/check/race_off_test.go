@@ -1,0 +1,5 @@
+//go:build !race
+
+package check
+
+const raceEnabled = false

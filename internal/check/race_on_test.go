@@ -1,0 +1,9 @@
+//go:build race
+
+package check
+
+// raceEnabled reports whether this test binary was built with the race
+// detector; the S-Net fixtures solve ke=2/kv=1 LPs that are ~15x slower
+// under instrumentation, so the heavyweight tests skip there (the
+// non-race CI job runs them in full).
+const raceEnabled = true

@@ -17,11 +17,13 @@ package ctrl
 import (
 	"context"
 	"fmt"
+	"io"
 	"math/rand"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"ffc/internal/check"
 	"ffc/internal/core"
 	"ffc/internal/demand"
 	"ffc/internal/faults"
@@ -83,6 +85,19 @@ type Config struct {
 	// Logf, when non-nil, receives operational log lines (install
 	// transitions, restore, snapshot errors).
 	Logf func(format string, args ...interface{})
+	// Certify, when non-nil, independently certifies plans with
+	// internal/check: every install is checked asynchronously (never
+	// blocking the serve or solve path; a full queue drops the job and
+	// counts ctrl.cert_skipped), and a restored snapshot is checked
+	// synchronously at boot — a plan that fails certification is not
+	// served as restored. Prot, RateLimiter, and the down sets are filled
+	// per install; the remaining fields (Mode, MaxExactCases, Restarts,
+	// Seed, FailFast) come from this template.
+	Certify *check.Params
+	// TraceWriter, when non-nil, receives one wire.TraceRecord NDJSON
+	// line per install — an offline-replayable plan history for
+	// cmd/ffccheck.
+	TraceWriter io.Writer
 }
 
 // statsCell is the controller's own atomic accounting, live regardless of
@@ -97,6 +112,9 @@ type statsCell struct {
 	solveCount       atomic.Int64
 	solveSumNs       atomic.Int64
 	solveMaxNs       atomic.Int64
+	certRuns         atomic.Int64
+	certFailures     atomic.Int64
+	certSkipped      atomic.Int64
 }
 
 // StatsSnapshot is the stats query's payload.
@@ -113,6 +131,9 @@ type StatsSnapshot struct {
 	SolveCount       int64 `json:"solve_count"`
 	SolveMeanNs      int64 `json:"solve_mean_ns"`
 	SolveMaxNs       int64 `json:"solve_max_ns"`
+	CertRuns         int64 `json:"cert_runs"`
+	CertFailures     int64 `json:"cert_failures"`
+	CertSkipped      int64 `json:"cert_skipped"`
 }
 
 // Controller is the TE control loop plus its serving surface. Queries
@@ -149,6 +170,10 @@ type Controller struct {
 
 	stats    statsCell
 	restored bool
+
+	// Async certification (nil unless Config.Certify is set and Start ran).
+	certCh   chan certJob
+	certDone chan struct{}
 
 	ctx    context.Context
 	cancel context.CancelFunc
@@ -217,12 +242,37 @@ func New(cfg Config) (*Controller, error) {
 		if err != nil {
 			return nil, fmt.Errorf("ctrl: restoring snapshot state: %w", err)
 		}
-		c.install(st, c.demands.Clone(), c.prot, installMeta{
-			seq: restoredSeq, degraded: restoredReason, restored: true,
-			outcome: core.OutcomeOptimal,
-		})
-		c.cfg.Logf("ctrl: restored plan seq=%d from %s (%d flows); serving while the first solve runs",
-			restoredSeq, cfg.SnapshotPath, len(restoredState.Flows))
+		certified := true
+		if cfg.Certify != nil {
+			// Re-certify synchronously before serving: a snapshot is the
+			// one plan this process never solved itself, so a corrupted or
+			// semantically-stale file must not be served as restored=true.
+			// prev = st (a restart installs exactly what was running, so no
+			// ingress is stale relative to it).
+			job := certJob{
+				prev: st, set: c.set,
+				params: c.certParams(c.prot, restoredReason, c.downLinks, c.downSwitches),
+			}
+			job.plan = &Plan{Seq: restoredSeq, Degraded: restoredReason, State: st}
+			certified = c.runCert(job)
+		}
+		if certified {
+			c.install(st, c.demands.Clone(), c.prot, installMeta{
+				seq: restoredSeq, degraded: restoredReason, restored: true,
+				outcome:   core.OutcomeOptimal,
+				downLinks: c.downLinks, downSwitches: c.downSwitches,
+				prev: st,
+			})
+			c.cfg.Logf("ctrl: restored plan seq=%d from %s (%d flows); serving while the first solve runs",
+				restoredSeq, cfg.SnapshotPath, len(restoredState.Flows))
+		} else {
+			c.restored = false
+			c.cfg.Logf("ctrl: snapshot plan seq=%d from %s failed certification; serving empty plan instead",
+				restoredSeq, cfg.SnapshotPath)
+			c.install(core.NewState(), c.demands.Clone(), c.prot, installMeta{
+				seq: 0, degraded: "unsolved", outcome: core.OutcomeSolverError,
+			})
+		}
 	} else {
 		// Serve an explicit empty plan from the start: a query must never
 		// observe "no plan", only "the plan grants nothing yet".
@@ -233,20 +283,24 @@ func New(cfg Config) (*Controller, error) {
 	return c, nil
 }
 
-// Start launches the recompute loop.
+// Start launches the recompute loop (and the async certifier when
+// configured).
 func (c *Controller) Start() {
+	c.startCertifier()
 	c.ctx, c.cancel = context.WithCancel(context.Background())
 	go c.run()
 }
 
 // Stop drains the controller: the in-flight solve is cancelled through the
-// budget path, the loop exits, and a final snapshot is written.
+// budget path, the loop exits, queued certifications finish, and a final
+// snapshot is written.
 func (c *Controller) Stop() {
 	if c.cancel == nil {
 		return
 	}
 	c.cancel()
 	<-c.done
+	c.stopCertifier()
 	c.writeSnapshot(true)
 }
 
@@ -286,6 +340,9 @@ func (c *Controller) Stats() StatsSnapshot {
 		PendingUpdates:   pending,
 		SolveCount:       c.stats.solveCount.Load(),
 		SolveMaxNs:       c.stats.solveMaxNs.Load(),
+		CertRuns:         c.stats.certRuns.Load(),
+		CertFailures:     c.stats.certFailures.Load(),
+		CertSkipped:      c.stats.certSkipped.Load(),
 	}
 	if p := c.plan.Load(); p != nil {
 		s.PlanSeq = p.Seq
@@ -494,6 +551,7 @@ func (c *Controller) recompute() {
 	c.intervalN++
 
 	start := time.Now()
+	achieved := prot
 	st, stats, err := c.session.Solve(in)
 	if err != nil && stats != nil && stats.Outcome == core.OutcomeInfeasible && prot != core.None {
 		// The protected LP has no solution (heavy faults can shrink the
@@ -501,6 +559,12 @@ func (c *Controller) recompute() {
 		in2 := in
 		in2.Prot = core.None
 		st, stats, err = c.solver.Solve(in2)
+		if err == nil {
+			// The installed plan was solved without protection; record
+			// that, or certification (and clients) would hold it to a
+			// guarantee it never promised.
+			achieved = core.None
+		}
 	}
 	solveTime := time.Since(start)
 	c.stats.solveCount.Add(1)
@@ -543,8 +607,9 @@ func (c *Controller) recompute() {
 	if last != nil {
 		seq = last.Seq + 1
 	}
-	c.install(st, dem, prot, installMeta{
+	c.install(st, dem, achieved, installMeta{
 		seq: seq, degraded: reason, outcome: outcome, solveTime: solveTime,
+		prev: prev, downLinks: dl, downSwitches: ds,
 	})
 	if reason != "" {
 		c.cfg.Logf("ctrl: installed DEGRADED plan seq=%d reason=%s (outcome %v, %v)", seq, reason, outcome, solveTime.Round(time.Microsecond))

@@ -7,6 +7,7 @@ import (
 	"ffc/internal/core"
 	"ffc/internal/demand"
 	"ffc/internal/obs"
+	"ffc/internal/topology"
 	"ffc/internal/wire"
 )
 
@@ -88,6 +89,13 @@ type installMeta struct {
 	restored  bool
 	outcome   core.Outcome
 	solveTime time.Duration
+
+	// prev is the previously installed state (the stale configuration for
+	// control-plane certification); nil skips certification and tracing
+	// (the pre-first-solve placeholder).
+	prev         *core.State
+	downLinks    map[topology.LinkID]bool
+	downSwitches map[topology.SwitchID]bool
 }
 
 // install publishes st as the serving plan: encode once, then swap the
@@ -125,5 +133,16 @@ func (c *Controller) install(st *core.State, dem demand.Matrix, prot core.Protec
 	}
 	if obs.Enabled() {
 		obsInstallLatency.ObserveSince(start)
+	}
+	if m.prev != nil {
+		c.writeTrace(p, m.downLinks, m.downSwitches)
+		if c.cfg.Certify != nil && !m.restored {
+			// Restored plans were certified synchronously in New before
+			// this install; everything else certifies in the background.
+			c.enqueueCert(certJob{
+				plan: p, prev: m.prev, set: c.set,
+				params: c.certParams(prot, m.degraded, m.downLinks, m.downSwitches),
+			})
+		}
 	}
 }

@@ -35,6 +35,13 @@ type intervalState struct {
 	states       []*core.State
 	prev         []*core.State
 
+	// classProt is the protection each class's installed state actually
+	// achieved (core.None after the unprotected infeasibility retry or a
+	// degraded fallback); classDegraded is the per-class degradation
+	// reason. Both feed RunConfig.OnPlan.
+	classProt     []core.Protection
+	classDegraded []string
+
 	// staleUntil maps ingress switches whose configuration update failed
 	// to the moment their repair completes.
 	staleUntil map[topology.SwitchID]time.Duration
@@ -60,6 +67,8 @@ type intervalState struct {
 func (iv *intervalState) solveTE(prev []*core.State) error {
 	iv.prev = prev
 	iv.states = make([]*core.State, len(iv.classes))
+	iv.classProt = make([]core.Protection, len(iv.classes))
+	iv.classDegraded = make([]string, len(iv.classes))
 	residual := map[topology.LinkID]float64{}
 	for _, l := range iv.sc.Net.Links {
 		residual[l.ID] = l.Capacity
@@ -103,6 +112,7 @@ func (iv *intervalState) solveTE(prev []*core.State) error {
 		} else {
 			st, stats, err = iv.solver.Solve(in)
 		}
+		achieved := prot
 		if err != nil && stats != nil && stats.Outcome == core.OutcomeInfeasible {
 			// Retry unprotected (always cold: a one-shot solve with a
 			// different protection shape cannot reuse the session model).
@@ -110,6 +120,7 @@ func (iv *intervalState) solveTE(prev []*core.State) error {
 			st, stats, err = iv.solver.Solve(in)
 			if err == nil {
 				iv.res.InfeasibleIntervals++
+				achieved = core.None
 			}
 		}
 		reason := ""
@@ -130,6 +141,7 @@ func (iv *intervalState) solveTE(prev []*core.State) error {
 				iv.degraded = reason
 				core.NoteDegradedInterval()
 			}
+			achieved = core.None // last-good rescale promises no protection
 			st = core.Degrade(iv.sc.Net, iv.sc.Tun, prev[ci], iv.downLinks, iv.downSwitches)
 			// The installed rate limiters persist, but flows only offer
 			// this interval's demand.
@@ -146,6 +158,8 @@ func (iv *intervalState) solveTE(prev []*core.State) error {
 			}
 		}
 		iv.states[ci] = st
+		iv.classProt[ci] = achieved
+		iv.classDegraded[ci] = reason
 		// §5.1: lower classes use capacity net of the traffic higher
 		// classes *actually* send (weights×rate), not their allocations —
 		// the protection headroom is reusable because priority queueing

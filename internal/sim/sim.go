@@ -94,6 +94,35 @@ type RunConfig struct {
 	// result) per interval to measure availability under controller
 	// trouble; the zero value injects nothing and consumes no randomness.
 	SolverFaults faults.SolverFaultModel
+	// OnPlan, when non-nil, observes every installed per-class state right
+	// after its interval completes — the offline twin of the controller's
+	// install hook, used to trace runs for independent certification
+	// (cmd/ffcsim -trace → cmd/ffccheck). The record's fields are shared
+	// with the simulator; the callback must not mutate them.
+	OnPlan func(PlanRecord)
+}
+
+// PlanRecord is one per-class installed state handed to RunConfig.OnPlan.
+type PlanRecord struct {
+	// Interval is the 0-based interval index.
+	Interval int
+	// Class is the priority class (0 in single-priority runs).
+	Class demand.Priority
+	// Prot is the protection the state actually achieved: the class's
+	// configured level, or core.None after the unprotected infeasibility
+	// retry or a degraded fallback.
+	Prot core.Protection
+	// Degraded is the class's degradation reason ("" when its solve
+	// landed).
+	Degraded string
+	// Demands is what the class asked for this interval (incl. backlog).
+	Demands demand.Matrix
+	// Prev and State are the previously and newly installed states.
+	Prev, State *core.State
+	// DownLinks / DownSwitches were known failed when the state was
+	// computed.
+	DownLinks    map[topology.LinkID]bool
+	DownSwitches map[topology.SwitchID]bool
 }
 
 func (c *RunConfig) fill() {
@@ -299,6 +328,19 @@ func Run(sc Scenario, cfg RunConfig) (*Result, error) {
 			res.Total.GrantedBytes += granted * sc.Interval.Seconds()
 			if !cfg.NoCarryover {
 				backlog[ci] = nextBacklog(iv.demands[ci], iv.states[ci])
+			}
+			if cfg.OnPlan != nil {
+				cfg.OnPlan(PlanRecord{
+					Interval:     t,
+					Class:        classes[ci],
+					Prot:         iv.classProt[ci],
+					Degraded:     iv.classDegraded[ci],
+					Demands:      iv.demands[ci],
+					Prev:         prev[ci],
+					State:        iv.states[ci],
+					DownLinks:    iv.downLinks,
+					DownSwitches: iv.downSwitches,
+				})
 			}
 			prev[ci] = iv.states[ci]
 			rec.Demand += dem
