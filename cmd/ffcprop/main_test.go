@@ -1,0 +1,129 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"ffc/internal/prop"
+)
+
+// TestSweepClean runs a short seed sweep and expects every scenario to hold.
+func TestSweepClean(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-seed", "4", "-n", "3", "-out", t.TempDir()}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr:\n%s", code, stderr.String())
+	}
+	lines := strings.Split(strings.TrimSpace(stdout.String()), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("want 3 NDJSON lines, got %d:\n%s", len(lines), stdout.String())
+	}
+	for _, line := range lines {
+		var r struct {
+			Name     string   `json:"name"`
+			Checked  []string `json:"checked"`
+			Failures []any    `json:"failures"`
+		}
+		if err := json.Unmarshal([]byte(line), &r); err != nil {
+			t.Fatalf("bad NDJSON line %q: %v", line, err)
+		}
+		if len(r.Failures) != 0 {
+			t.Errorf("%s reported failures: %s", r.Name, line)
+		}
+		if len(r.Checked) < 6 {
+			t.Errorf("%s checked only %d invariants", r.Name, len(r.Checked))
+		}
+	}
+}
+
+// TestReplayCommittedRepro replays the checked-in broken-capacity repro —
+// the same artifact internal/prop's TestCommittedRepro replays through the
+// go-test path — and expects it to still reproduce (exit 1).
+func TestReplayCommittedRepro(t *testing.T) {
+	repro := filepath.Join("..", "..", "internal", "prop", "testdata", "broken_capacity_repro.json")
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-repro", repro}, &stdout, &stderr)
+	if code != 1 {
+		t.Fatalf("exit %d, want 1 (still reproduces); stderr:\n%s", code, stderr.String())
+	}
+	if !strings.Contains(stderr.String(), "reproduces") {
+		t.Errorf("stderr does not mention reproduction:\n%s", stderr.String())
+	}
+	var r struct {
+		Failures []prop.Failure `json:"failures"`
+	}
+	if err := json.Unmarshal(stdout.Bytes(), &r); err != nil {
+		t.Fatalf("bad NDJSON: %v", err)
+	}
+	if len(r.Failures) == 0 || r.Failures[0].Invariant != prop.InvCertify {
+		t.Errorf("replay failures %v, want %s first", r.Failures, prop.InvCertify)
+	}
+}
+
+// TestFailureWritesRepro drives the find → shrink → write pipeline with an
+// injected broken scenario file, then replays what the tool wrote.
+func TestFailureWritesRepro(t *testing.T) {
+	broken, err := prop.MutateWorstLink(prop.Generate(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := prop.Run(broken)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.OK() {
+		t.Fatal("mutated scenario unexpectedly holds")
+	}
+	failure := res.FirstFailure()
+
+	dir := t.TempDir()
+	shrunk, stats := prop.Shrink(broken, failure, 0)
+	file := filepath.Join(dir, "case.json")
+	if err := prop.WriteRepro(file, &prop.Repro{Failure: failure, Shrink: stats, Scenario: shrunk}); err != nil {
+		t.Fatal(err)
+	}
+
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-repro", file}, &stdout, &stderr); code != 1 {
+		t.Fatalf("replay of freshly shrunk repro: exit %d, want 1; stderr:\n%s", code, stderr.String())
+	}
+}
+
+// TestUsageErrors pins the exit-2 convention.
+func TestUsageErrors(t *testing.T) {
+	for _, args := range [][]string{
+		{"-path", "bogus"},
+		{"-repro", filepath.Join(t.TempDir(), "missing.json")},
+		{"stray-positional"},
+		{"-badflag"},
+	} {
+		var stdout, stderr bytes.Buffer
+		if code := run(args, &stdout, &stderr); code != 2 {
+			t.Errorf("args %v: exit %d, want 2", args, code)
+		}
+	}
+}
+
+// TestPathOverride forces every scenario in a small sweep onto one solve
+// path.
+func TestPathOverride(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-seed", "1", "-n", "2", "-path", "scratch", "-out", t.TempDir()}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr:\n%s", code, stderr.String())
+	}
+	for _, line := range strings.Split(strings.TrimSpace(stdout.String()), "\n") {
+		var r struct {
+			Path string `json:"path"`
+		}
+		if err := json.Unmarshal([]byte(line), &r); err != nil {
+			t.Fatal(err)
+		}
+		if r.Path != "scratch" {
+			t.Errorf("path %q, want scratch", r.Path)
+		}
+	}
+}

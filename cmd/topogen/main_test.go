@@ -1,0 +1,171 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"ffc/internal/topology"
+	"ffc/internal/wire"
+)
+
+// genTopo runs topogen with the given args plus -out into a temp file and
+// returns the written topology after it passes the same load path ffcte and
+// ffccheck use (json.Unmarshal + Validate).
+func genTopo(t *testing.T, args ...string) *topology.Network {
+	t.Helper()
+	out := filepath.Join(t.TempDir(), "net.json")
+	var stdout, stderr bytes.Buffer
+	if err := run(append(args, "-out", out), &stdout, &stderr); err != nil {
+		t.Fatalf("topogen %v: %v\nstderr:\n%s", args, err, stderr.String())
+	}
+	blob, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var net topology.Network
+	if err := json.Unmarshal(blob, &net); err != nil {
+		t.Fatalf("topogen %v wrote unparsable topology: %v", args, err)
+	}
+	if err := net.Validate(); err != nil {
+		t.Fatalf("topogen %v wrote invalid topology: %v", args, err)
+	}
+	return &net
+}
+
+// TestKindsRoundTrip generates every -kind and loads the result through the
+// wire/topology loaders.
+func TestKindsRoundTrip(t *testing.T) {
+	abilene := filepath.Join("..", "..", "examples", "real_topology", "abilene.graphml")
+	cases := []struct {
+		name string
+		args []string
+	}{
+		{"lnet", []string{"-kind", "lnet", "-sites", "5", "-seed", "1"}},
+		{"snet", []string{"-kind", "snet"}},
+		{"testbed", []string{"-kind", "testbed"}},
+		{"example4", []string{"-kind", "example4"}},
+		{"fattree", []string{"-kind", "fattree", "-arity", "4"}},
+		{"graphml", []string{"-kind", "graphml", "-in", abilene}},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			t.Parallel()
+			net := genTopo(t, tc.args...)
+			if net.NumSwitches() < 2 || net.NumLinks() < 2 {
+				t.Errorf("%s: degenerate topology: %d switches, %d links",
+					tc.name, net.NumSwitches(), net.NumLinks())
+			}
+		})
+	}
+}
+
+// TestSeedPinnedGoldens pins structural facts of the seeded generators so a
+// determinism regression (or an accidental generator change) fails loudly.
+func TestSeedPinnedGoldens(t *testing.T) {
+	t.Parallel()
+	lnet := genTopo(t, "-kind", "lnet", "-sites", "5", "-seed", "7")
+	lnet2 := genTopo(t, "-kind", "lnet", "-sites", "5", "-seed", "7")
+	a, _ := json.Marshal(lnet)
+	b, _ := json.Marshal(lnet2)
+	if !bytes.Equal(a, b) {
+		t.Fatal("lnet with the same seed differs between runs")
+	}
+	other := genTopo(t, "-kind", "lnet", "-sites", "5", "-seed", "8")
+	c, _ := json.Marshal(other)
+	if bytes.Equal(a, c) {
+		t.Fatal("lnet ignores the seed: seeds 7 and 8 are identical")
+	}
+	// 5 sites × 2 switches each is the LNetConfig default.
+	if n := lnet.NumSwitches(); n != 10 {
+		t.Errorf("lnet -sites 5: %d switches, want 10", n)
+	}
+
+	ft := genTopo(t, "-kind", "fattree", "-arity", "4")
+	// Arity-4 fat tree: 4 core + 8 aggregation + 8 edge = 20 switches.
+	if n := ft.NumSwitches(); n != 20 {
+		t.Errorf("fattree -arity 4: %d switches, want 20", n)
+	}
+}
+
+// TestTopologyStableWithDemands pins the stream split: the topology bytes
+// must not depend on whether -demands is also generated.
+func TestTopologyStableWithDemands(t *testing.T) {
+	t.Parallel()
+	dir := t.TempDir()
+	bare := filepath.Join(dir, "bare.json")
+	withDem := filepath.Join(dir, "with.json")
+	demFile := filepath.Join(dir, "dem.json")
+
+	var stdout, stderr bytes.Buffer
+	if err := run([]string{"-kind", "lnet", "-sites", "4", "-seed", "3", "-out", bare}, &stdout, &stderr); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-kind", "lnet", "-sites", "4", "-seed", "3", "-out", withDem, "-demands", demFile}, &stdout, &stderr); err != nil {
+		t.Fatal(err)
+	}
+	a, _ := os.ReadFile(bare)
+	b, _ := os.ReadFile(withDem)
+	if !bytes.Equal(a, b) {
+		t.Error("topology bytes change when -demands is requested")
+	}
+
+	// The demand file must parse against its topology and be non-trivial.
+	var net topology.Network
+	if err := json.Unmarshal(b, &net); err != nil {
+		t.Fatal(err)
+	}
+	blob, err := os.ReadFile(demFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := wire.ParseDemands(&net, blob)
+	if err != nil {
+		t.Fatalf("generated demands do not parse: %v", err)
+	}
+	if m.Total() <= 0 {
+		t.Error("generated demand matrix is empty")
+	}
+
+	// Same seed again: identical demand bytes.
+	demFile2 := filepath.Join(dir, "dem2.json")
+	out2 := filepath.Join(dir, "net2.json")
+	if err := run([]string{"-kind", "lnet", "-sites", "4", "-seed", "3", "-out", out2, "-demands", demFile2}, &stdout, &stderr); err != nil {
+		t.Fatal(err)
+	}
+	blob2, _ := os.ReadFile(demFile2)
+	if !bytes.Equal(blob, blob2) {
+		t.Error("demand bytes differ between identical invocations")
+	}
+}
+
+// TestErrors pins the error paths.
+func TestErrors(t *testing.T) {
+	t.Parallel()
+	for _, args := range [][]string{
+		{"-kind", "bogus"},
+		{"-kind", "graphml"}, // missing -in
+		{"-kind", "graphml", "-in", filepath.Join(t.TempDir(), "missing.graphml")},
+	} {
+		var stdout, stderr bytes.Buffer
+		if err := run(args, &stdout, &stderr); err == nil {
+			t.Errorf("args %v: expected an error", args)
+		}
+	}
+}
+
+// TestStdoutDefault writes to stdout when -out is omitted.
+func TestStdoutDefault(t *testing.T) {
+	t.Parallel()
+	var stdout, stderr bytes.Buffer
+	if err := run([]string{"-kind", "example4"}, &stdout, &stderr); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(stdout.String(), "switches") {
+		t.Errorf("stdout does not look like a topology:\n%.200s", stdout.String())
+	}
+}

@@ -176,6 +176,20 @@ type Certificate struct {
 	Elapsed time.Duration `json:"elapsed_ns"`
 }
 
+// Summary renders the certificate as one human-readable line. The property
+// harness (internal/prop, cmd/ffcprop) embeds it in failure details and
+// repro files, so a violation reads identically wherever it surfaces.
+func (c *Certificate) Summary() string {
+	if c.OK {
+		return fmt.Sprintf("%s-OK kc=%d ke=%d kv=%d: %d cases checked (%d covered), worst slack %.6g on %q",
+			c.Mode, c.Kc, c.Ke, c.Kv, c.CasesChecked, c.CasesCovered, c.WorstSlack, c.WorstLink)
+	}
+	v := c.Violation
+	return fmt.Sprintf("VIOLATION (%s plane, %s mode) link %q: load %.6g > capacity %.6g (over %.6g) under links=%v switches=%v stale=%v",
+		v.Plane, c.Mode, v.LinkName, v.Load, v.Capacity, v.Over,
+		v.Faults.LinkNames, v.Faults.SwitchNames, v.Faults.StaleNames)
+}
+
 // overThreshold mirrors the tolerance every planner and verifier in this
 // repo uses: load exceeds cap only beyond 1e-6·max(1, cap).
 func overThreshold(load, cap float64) bool {

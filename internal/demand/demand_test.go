@@ -82,6 +82,40 @@ func TestScaleAndTotal(t *testing.T) {
 	}
 }
 
+func TestCloneNoAliasing(t *testing.T) {
+	m := Matrix{tunnel.Flow{Src: 0, Dst: 1}: 2, tunnel.Flow{Src: 1, Dst: 0}: 3}
+	cl := m.Clone()
+	cl[tunnel.Flow{Src: 0, Dst: 1}] = 99
+	cl[tunnel.Flow{Src: 2, Dst: 3}] = 1
+	if m[tunnel.Flow{Src: 0, Dst: 1}] != 2 || len(m) != 2 {
+		t.Fatalf("Clone aliases the receiver's storage: %v", m)
+	}
+	s := m.Scale(2)
+	s[tunnel.Flow{Src: 1, Dst: 0}] = -1
+	if m[tunnel.Flow{Src: 1, Dst: 0}] != 3 {
+		t.Fatalf("Scale aliases the receiver's storage: %v", m)
+	}
+}
+
+func TestByPriorityPartitionsTotalExactly(t *testing.T) {
+	_, s := genSeries(t, 9, Config{Intervals: 1})
+	m := s[0]
+	splits := RandomSplits(m.Flows(), rand.New(rand.NewSource(11)))
+	parts := ByPriority(m, splits)
+	var total float64
+	for p := Low; p < NumPriorities; p++ {
+		total += parts[p].Total()
+	}
+	if want := m.Total(); math.Abs(total-want) > 1e-9*math.Max(1, want) {
+		t.Fatalf("priority totals sum to %v, want %v", total, want)
+	}
+	for p := Low; p < NumPriorities; p++ {
+		if len(parts[p]) != len(m) {
+			t.Fatalf("priority %v has %d flows, want %d", p, len(parts[p]), len(m))
+		}
+	}
+}
+
 func TestFlowsDeterministicOrder(t *testing.T) {
 	m := Matrix{
 		{Src: 2, Dst: 1}: 1, {Src: 0, Dst: 3}: 1, {Src: 0, Dst: 1}: 1,

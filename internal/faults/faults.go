@@ -239,6 +239,42 @@ func (m FailureModel) sampleDown(rng *rand.Rand) int {
 	return lo + rng.Intn(hi-lo+1)
 }
 
+// PickFaults draws a uniformly random fault set of up to nLinks distinct
+// physical links (canonical direction) and nSwitches distinct switches,
+// deterministic in rng. Unlike SampleInterval it imposes no failure process —
+// it is the "adversary picks any ≤k elements" draw property-based scenario
+// generation needs (internal/prop seeds pre-down sets and post-install
+// faults with it).
+func PickFaults(net *topology.Network, rng *rand.Rand, nLinks, nSwitches int) ([]topology.LinkID, []topology.SwitchID) {
+	var phys []topology.LinkID
+	for _, l := range net.Links {
+		if l.Twin == topology.None || l.ID < l.Twin {
+			phys = append(phys, l.ID)
+		}
+	}
+	if nLinks > len(phys) {
+		nLinks = len(phys)
+	}
+	var links []topology.LinkID
+	if nLinks > 0 {
+		for _, i := range rng.Perm(len(phys))[:nLinks] {
+			links = append(links, phys[i])
+		}
+		sort.Slice(links, func(i, j int) bool { return links[i] < links[j] })
+	}
+	if nSwitches > net.NumSwitches() {
+		nSwitches = net.NumSwitches()
+	}
+	var sws []topology.SwitchID
+	if nSwitches > 0 {
+		for _, i := range rng.Perm(net.NumSwitches())[:nSwitches] {
+			sws = append(sws, topology.SwitchID(i))
+		}
+		sort.Slice(sws, func(i, j int) bool { return sws[i] < sws[j] })
+	}
+	return links, sws
+}
+
 // DeriveSeed deterministically derives an independent RNG seed for one
 // shard (a TE interval, a scenario replay, ...) of a seeded computation.
 // Serial and parallel executions that seed each shard's generator with

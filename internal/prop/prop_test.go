@@ -1,0 +1,256 @@
+package prop
+
+import (
+	"encoding/json"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+// shortSeeds is the PR-budget property pass: a fixed seed set chosen to
+// cover every solve path, every encoding, and several topology kinds while
+// staying inside the normal `go test` budget. TestSeedCoverage pins the
+// coverage so generator changes that would silently narrow it fail loudly.
+var shortSeeds = []int64{1, 2, 4, 5, 6, 7, 8, 9, 10, 12}
+
+// longSeeds extends the sweep when -short is not set.
+var longSeeds = []int64{3, 11, 13, 14, 15, 16, 17, 18, 20, 21, 22, 23, 24}
+
+func TestGenerateDeterministic(t *testing.T) {
+	t.Parallel()
+	for _, seed := range []int64{1, 7, 42, 1 << 40} {
+		a, _ := json.Marshal(Generate(seed))
+		b, _ := json.Marshal(Generate(seed))
+		if string(a) != string(b) {
+			t.Fatalf("Generate(%d) is not deterministic", seed)
+		}
+	}
+	a, _ := json.Marshal(Generate(5))
+	b, _ := json.Marshal(Generate(6))
+	if string(a) == string(b) {
+		t.Fatalf("Generate(5) and Generate(6) drew identical scenarios")
+	}
+}
+
+func TestScenarioRoundTrip(t *testing.T) {
+	t.Parallel()
+	sc := Generate(7)
+	blob, err := json.Marshal(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Scenario
+	if err := json.Unmarshal(blob, &back); err != nil {
+		t.Fatal(err)
+	}
+	blob2, err := json.Marshal(&back)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(blob) != string(blob2) {
+		t.Fatalf("scenario does not round-trip through JSON:\n%s\nvs\n%s", blob, blob2)
+	}
+}
+
+// TestSeedCoverage pins that the short-pass seeds exercise all four solve
+// paths and every encoding.
+func TestSeedCoverage(t *testing.T) {
+	t.Parallel()
+	paths := map[string]bool{}
+	encodings := map[string]bool{}
+	for _, seed := range shortSeeds {
+		sc := Generate(seed)
+		paths[sc.Path] = true
+		encodings[sc.Encoding] = true
+	}
+	for _, p := range Paths {
+		if !paths[p] {
+			t.Errorf("short seeds cover no %q-path scenario", p)
+		}
+	}
+	for _, e := range []string{"sortnet", "compact", "naive"} {
+		if !encodings[e] {
+			t.Errorf("short seeds cover no %q-encoding scenario", e)
+		}
+	}
+}
+
+// TestProperties is the randomized end-to-end pass: every seed's scenario
+// runs the full build → solve → verify → certify pipeline and must satisfy
+// every metamorphic invariant.
+func TestProperties(t *testing.T) {
+	seeds := shortSeeds
+	if !testing.Short() {
+		seeds = append(append([]int64(nil), shortSeeds...), longSeeds...)
+	}
+	for _, seed := range seeds {
+		seed := seed
+		t.Run(Generate(seed).Name, func(t *testing.T) {
+			t.Parallel()
+			sc := Generate(seed)
+			res, err := Run(sc)
+			if err != nil {
+				t.Fatalf("scenario invalid: %v", err)
+			}
+			if len(res.Checked) < 6 {
+				t.Errorf("only %d invariants checked (%v); want ≥ 6", len(res.Checked), res.Checked)
+			}
+			for _, f := range res.Failures {
+				t.Errorf("invariant violated: %s", f)
+			}
+			if t.Failed() {
+				blob, _ := json.MarshalIndent(sc, "", "  ")
+				t.Logf("failing scenario (save as repro):\n%s", blob)
+			}
+		})
+	}
+}
+
+// TestRunDeterministic pins that Run is replay-stable: same scenario, same
+// result, including the throughput digits.
+func TestRunDeterministic(t *testing.T) {
+	t.Parallel()
+	sc := Generate(9)
+	a, err := Run(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(sc.Clone())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Rate != b.Rate || !reflect.DeepEqual(a.Failures, b.Failures) {
+		t.Fatalf("Run is not deterministic: %+v vs %+v", a, b)
+	}
+}
+
+// brokenScenario returns the deliberately-corrupted scenario the catch/
+// shrink/replay tests share: a solved plan whose most-loaded link has its
+// observed capacity cut below the planned load.
+func brokenScenario(t *testing.T) *Scenario {
+	t.Helper()
+	sc := Generate(7)
+	clean, err := Run(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !clean.OK() {
+		t.Fatalf("seed scenario must pass before corruption: %v", clean.Failures)
+	}
+	broken, err := MutateWorstLink(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return broken
+}
+
+func TestMutatedScenarioCaught(t *testing.T) {
+	t.Parallel()
+	broken := brokenScenario(t)
+	res, err := Run(broken)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var hit bool
+	for _, f := range res.Failures {
+		if f.Invariant == InvCertify {
+			hit = true
+		}
+	}
+	if !hit {
+		t.Fatalf("capacity-shrunk scenario not caught; failures: %v", res.Failures)
+	}
+}
+
+func TestShrinkMinimizesAndReplays(t *testing.T) {
+	t.Parallel()
+	broken := brokenScenario(t)
+	res, err := Run(broken)
+	if err != nil {
+		t.Fatal(err)
+	}
+	failure := res.FirstFailure()
+	if failure.Invariant != InvCertify {
+		t.Fatalf("expected a certify-ok failure, got %v", res.Failures)
+	}
+
+	shrunk, stats := Shrink(broken, failure, 0)
+	t.Logf("shrink: %d switches / %d flows after %d attempts (%d accepted)",
+		shrunk.Topo.NumSwitches(), len(shrunk.Demands), stats.Attempts, stats.Accepted)
+	if n := shrunk.Topo.NumSwitches(); n > 6 {
+		t.Errorf("shrunk scenario has %d switches, want ≤ 6", n)
+	}
+	if n := len(shrunk.Demands); n > 8 {
+		t.Errorf("shrunk scenario has %d flows, want ≤ 8", n)
+	}
+
+	// The shrunk scenario must still fail with the same invariant...
+	sres, err := Run(shrunk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sres.OK() || sres.FirstFailure().Invariant != failure.Invariant {
+		t.Fatalf("shrunk scenario lost the failure: %v", sres.Failures)
+	}
+
+	// ...and its repro file must fail identically through the repro path.
+	path := filepath.Join(t.TempDir(), "repro.json")
+	if err := WriteRepro(path, &Repro{Failure: failure, Shrink: stats, Scenario: shrunk}); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := ReadRepro(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rres, reproduced, err := rep.Replay()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reproduced {
+		t.Fatalf("repro did not reproduce; got %v", rres.Failures)
+	}
+}
+
+// TestCommittedRepro is the go-test replay path for the checked-in repro
+// artifact: the exact file ffcprop -repro replays must fail here with the
+// same invariant (see also cmd/ffcprop's CLI test).
+func TestCommittedRepro(t *testing.T) {
+	t.Parallel()
+	rep, err := ReadRepro(filepath.Join("testdata", "broken_capacity_repro.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Failure.Invariant != InvCertify {
+		t.Fatalf("committed repro records %q, want %q", rep.Failure.Invariant, InvCertify)
+	}
+	res, reproduced, err := rep.Replay()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reproduced {
+		t.Fatalf("committed repro no longer reproduces; failures: %v", res.Failures)
+	}
+}
+
+// TestDegradedInvariantCatchesExtraFaults sanity-checks the degraded
+// invariant end to end: a scenario whose plan certifies must also certify
+// after Degrade under its post-install faults (already part of Run), and
+// the invariant filter restricts Run to exactly that check.
+func TestInvariantFilter(t *testing.T) {
+	t.Parallel()
+	sc := Generate(8)
+	sc.Invariants = []string{InvDegraded}
+	res, err := Run(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]bool{InvSolveOK: true, InvDegraded: true}
+	for _, inv := range res.Checked {
+		if !want[inv] {
+			t.Errorf("invariant %q ran despite the filter", inv)
+		}
+	}
+	if len(res.Checked) != 2 {
+		t.Errorf("checked %v, want exactly [solve-ok degraded-certifies]", res.Checked)
+	}
+}

@@ -1,0 +1,73 @@
+package prop
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// Repro is a self-contained failing-case file: the shrunk scenario plus the
+// failure it reproduces. Everything needed to replay is inside — topology,
+// demands, fault sets, mutation — so the file fails identically wherever it
+// runs: `ffcprop -repro file.json`, the go-test replay in this package, or
+// ReadRepro + Replay from any program.
+type Repro struct {
+	// Failure is the invariant violation observed when the file was
+	// written. Replay matches on the invariant name (details such as
+	// throughput digits may legally vary across architectures).
+	Failure Failure `json:"failure"`
+	// Shrink records the minimization work that produced the scenario
+	// (zero value when the scenario was written unshrunk).
+	Shrink ShrinkStats `json:"shrink,omitempty"`
+	// Scenario is the (typically shrunk) failing scenario.
+	Scenario *Scenario `json:"scenario"`
+}
+
+// WriteRepro writes the repro as indented JSON.
+func WriteRepro(path string, r *Repro) error {
+	blob, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return fmt.Errorf("prop: encode repro: %w", err)
+	}
+	return os.WriteFile(path, append(blob, '\n'), 0o644)
+}
+
+// ReadRepro parses a repro file.
+func ReadRepro(path string) (*Repro, error) {
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r Repro
+	if err := json.Unmarshal(blob, &r); err != nil {
+		return nil, fmt.Errorf("prop: parse repro %s: %w", path, err)
+	}
+	if r.Scenario == nil {
+		return nil, fmt.Errorf("prop: repro %s has no scenario", path)
+	}
+	if r.Failure.Invariant == "" {
+		return nil, fmt.Errorf("prop: repro %s names no failing invariant", path)
+	}
+	return &r, nil
+}
+
+// Replay runs the repro's scenario and reports whether the recorded
+// invariant still fails. The returned Result carries the fresh failure
+// details; err is non-nil only if the scenario itself no longer
+// materializes.
+func (r *Repro) Replay() (*Result, bool, error) {
+	sc := r.Scenario.Clone()
+	if len(sc.Invariants) == 0 {
+		sc.Invariants = []string{r.Failure.Invariant}
+	}
+	res, err := Run(sc)
+	if err != nil {
+		return nil, false, err
+	}
+	for _, f := range res.Failures {
+		if f.Invariant == r.Failure.Invariant {
+			return res, true, nil
+		}
+	}
+	return res, false, nil
+}

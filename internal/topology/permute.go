@@ -1,0 +1,44 @@
+package topology
+
+import "fmt"
+
+// Permute returns a copy of the network with its switches reordered: the new
+// switch with ID i is the old switch perm[i] (same name, site, and
+// coordinates). Links keep their IDs and capacities — only their endpoints
+// are renumbered — so link-indexed data (tunnel paths, capacity overrides)
+// remains valid across the relabeling. perm must be a permutation of
+// [0, NumSwitches).
+//
+// Relabeling is a metamorphic identity for every TE computation in this
+// repo: the graph is unchanged, so optimal throughput, MLU, and the FFC
+// guarantees must all be invariant under Permute. internal/prop exercises
+// exactly that.
+func (n *Network) Permute(perm []int) (*Network, error) {
+	if len(perm) != len(n.Switches) {
+		return nil, fmt.Errorf("topology: permutation has %d entries for %d switches", len(perm), len(n.Switches))
+	}
+	inv := make([]SwitchID, len(perm))
+	seen := make([]bool, len(perm))
+	for newID, oldID := range perm {
+		if oldID < 0 || oldID >= len(perm) || seen[oldID] {
+			return nil, fmt.Errorf("topology: perm is not a permutation (entry %d = %d)", newID, oldID)
+		}
+		seen[oldID] = true
+		inv[oldID] = SwitchID(newID)
+	}
+
+	c := &Network{Name: n.Name}
+	c.Switches = make([]Switch, len(n.Switches))
+	for newID, oldID := range perm {
+		s := n.Switches[oldID]
+		s.ID = SwitchID(newID)
+		c.Switches[newID] = s
+	}
+	c.Links = make([]Link, len(n.Links))
+	for i, l := range n.Links {
+		l.Src = inv[l.Src]
+		l.Dst = inv[l.Dst]
+		c.Links[i] = l
+	}
+	return c, nil
+}

@@ -1,0 +1,124 @@
+package topology
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestPermuteIdentity(t *testing.T) {
+	net := Testbed()
+	perm := make([]int, net.NumSwitches())
+	for i := range perm {
+		perm[i] = i
+	}
+	p, err := net.Permute(perm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, s := range p.Switches {
+		if s != net.Switches[i] {
+			t.Fatalf("identity permutation changed switch %d: %+v vs %+v", i, s, net.Switches[i])
+		}
+	}
+	for i, l := range p.Links {
+		if l != net.Links[i] {
+			t.Fatalf("identity permutation changed link %d: %+v vs %+v", i, l, net.Links[i])
+		}
+	}
+}
+
+func TestPermutePreservesStructure(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	net := LNet(LNetConfig{Sites: 4}, rng)
+	perm := rng.Perm(net.NumSwitches())
+	p, err := net.Permute(perm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatalf("permuted network invalid: %v", err)
+	}
+	if p.NumSwitches() != net.NumSwitches() || p.NumLinks() != net.NumLinks() {
+		t.Fatal("permutation changed the element counts")
+	}
+	if p.TotalCapacity() != net.TotalCapacity() {
+		t.Fatal("permutation changed total capacity")
+	}
+
+	// The new switch i is the old switch perm[i], carrying its name; links
+	// keep IDs and capacities with endpoints renumbered accordingly.
+	for newID, oldID := range perm {
+		if p.Switches[newID].Name != net.Switches[oldID].Name {
+			t.Fatalf("switch %d: name %q, want old switch %d's %q",
+				newID, p.Switches[newID].Name, oldID, net.Switches[oldID].Name)
+		}
+		if p.Switches[newID].ID != SwitchID(newID) {
+			t.Fatalf("switch %d: stale ID %d", newID, p.Switches[newID].ID)
+		}
+	}
+	for i, l := range p.Links {
+		old := net.Links[i]
+		if l.ID != old.ID || l.Capacity != old.Capacity || l.Twin != old.Twin {
+			t.Fatalf("link %d changed identity: %+v vs %+v", i, l, old)
+		}
+		// Same physical link: endpoints are the permuted images.
+		if net.Switches[old.Src].Name != p.Switches[l.Src].Name ||
+			net.Switches[old.Dst].Name != p.Switches[l.Dst].Name {
+			t.Fatalf("link %d endpoints remapped wrongly", i)
+		}
+	}
+
+	// The original must be untouched.
+	if err := net.Validate(); err != nil {
+		t.Fatalf("Permute mutated the receiver: %v", err)
+	}
+	for i := range net.Switches {
+		if net.Switches[i].ID != SwitchID(i) {
+			t.Fatal("Permute mutated the receiver's switch IDs")
+		}
+	}
+}
+
+func TestPermuteRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	net := LNet(LNetConfig{Sites: 3}, rng)
+	perm := rng.Perm(net.NumSwitches())
+	p, err := net.Permute(perm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Applying the inverse permutation restores the original labeling.
+	inv := make([]int, len(perm))
+	for newID, oldID := range perm {
+		inv[oldID] = newID
+	}
+	back, err := p.Permute(inv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range net.Switches {
+		if back.Switches[i] != net.Switches[i] {
+			t.Fatalf("round trip changed switch %d", i)
+		}
+	}
+	for i := range net.Links {
+		if back.Links[i] != net.Links[i] {
+			t.Fatalf("round trip changed link %d", i)
+		}
+	}
+}
+
+func TestPermuteRejectsBadInput(t *testing.T) {
+	net := Example4()
+	for _, perm := range [][]int{
+		{0, 1},          // wrong length
+		{0, 1, 2, 2},    // duplicate
+		{0, 1, 2, 4},    // out of range
+		{-1, 1, 2, 3},   // negative
+		{0, 1, 2, 3, 4}, // too long
+	} {
+		if _, err := net.Permute(perm); err == nil {
+			t.Errorf("perm %v: expected an error", perm)
+		}
+	}
+}

@@ -3,6 +3,7 @@ package tunnel
 import (
 	"container/heap"
 	"math"
+	"sort"
 
 	"ffc/internal/topology"
 )
@@ -75,9 +76,18 @@ func DisjointPair(net *topology.Network, src, dst topology.SwitchID, w WeightFun
 		}
 		use[l]++
 	}
+	// Decomposition adjacency, built in sorted link order: when a vertex
+	// has several outgoing arcs, which arc joins which of the two paths
+	// depends on this order — iterating the map directly would make the
+	// layout (and everything downstream of it) vary per process.
+	merged := make([]topology.LinkID, 0, len(use))
+	for l := range use {
+		merged = append(merged, l)
+	}
+	sort.Slice(merged, func(i, j int) bool { return merged[i] < merged[j] })
 	next := map[topology.SwitchID][]topology.LinkID{}
-	for l, n := range use {
-		for i := 0; i < n; i++ {
+	for _, l := range merged {
+		for i := 0; i < use[l]; i++ {
 			next[net.Links[l].Src] = append(next[net.Links[l].Src], l)
 		}
 	}
